@@ -1,0 +1,44 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  Results
+are printed to stdout (run with ``-s`` to see them) and written as text files
+under ``benchmarks/results/`` so EXPERIMENTS.md can reference concrete runs.
+
+Environment knobs:
+
+* ``ECMAS_BENCH_FULL=1`` — include the very large Table I circuits
+  (``qft_n50``, ``quantum_walk``, ``shor``) and use paper-sized figure groups.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_benchmarks_enabled() -> bool:
+    """True when the slow, paper-scale configuration was requested."""
+    return os.environ.get("ECMAS_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where regenerated tables/figures are written."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write a named text artefact under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> Path:
+        path = results_dir / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    return _save

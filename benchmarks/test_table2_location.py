@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table II (location initialisation ablation)."""
+
+from __future__ import annotations
+
+from repro.eval import format_table, table2_location
+
+
+def test_table2_location(benchmark, save_result):
+    rows = benchmark.pedantic(table2_location, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        ["circuit", "n", "alpha", "g", "trivial", "metis", "ours"],
+        title="Table II — Comparison of location initialisation methods (measured)",
+    )
+    print("\n" + text)
+    save_result("table2_location.txt", text)
+
+    # The paper's qualitative claim: our multi-attempt placement is at least
+    # as good as the trivial snake on (almost) every circuit.
+    worse = [row["circuit"] for row in rows if row["ours"] > row["trivial"] + 2]
+    assert len(worse) <= 1, f"our placement noticeably worse than trivial on {worse}"

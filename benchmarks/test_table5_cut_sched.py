@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table V (cut-type scheduling ablation)."""
+
+from __future__ import annotations
+
+from repro.eval import format_table, table5_cut_scheduling
+
+
+def test_table5_cut_scheduling(benchmark, save_result):
+    rows = benchmark.pedantic(table5_cut_scheduling, rounds=1, iterations=1)
+    text = format_table(
+        rows,
+        ["circuit", "n", "alpha", "g", "channel_first", "time_first", "ours"],
+        title="Table V — Comparison of cut type scheduling strategies (measured)",
+    )
+    print("\n" + text)
+    save_result("table5_cut_sched.txt", text)
+
+    # Paper claim: the adaptive M-value strategy matches or beats the better
+    # of the two fixed strategies on (nearly) every circuit.
+    losses = [
+        row["circuit"]
+        for row in rows
+        if row["ours"] > min(row["channel_first"], row["time_first"]) + 2
+    ]
+    assert len(losses) <= 2, f"adaptive strategy noticeably worse on {losses}"

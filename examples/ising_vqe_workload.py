@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Domain scenario: high-parallelism Ising / QDNN workloads.
+
+The paper's introduction motivates Ecmas with circuits where many CNOT gates
+can execute in parallel — Trotterised Ising evolution and quantum deep neural
+network (QuClassi-style) ansätze.  This example profiles both workloads,
+shows how the chip's communication capacity compares to the circuits'
+parallelism degree, and measures how much execution time Ecmas recovers
+versus the baselines on the minimum viable chip and on a 4x chip.
+
+Run with::
+
+    python examples/ising_vqe_workload.py
+"""
+
+from __future__ import annotations
+
+from repro import SurfaceCodeModel, circuit_parallelism_degree, compile_circuit, default_chip
+from repro.baselines import compile_autobraid, compile_edpci
+from repro.circuits.generators import standard
+from repro.core import chip_communication_capacity
+from repro.eval.report import format_table
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+
+def profile(circuit) -> dict:
+    return {
+        "circuit": circuit.name,
+        "qubits": circuit.num_qubits,
+        "alpha": circuit.depth(),
+        "cnots": circuit.num_cnots,
+        "PM": circuit_parallelism_degree(circuit),
+    }
+
+
+def evaluate(circuit) -> dict:
+    row = {"circuit": circuit.name}
+    chip_dd = default_chip(circuit, DD, "minimum")
+    chip_ls_min = default_chip(circuit, LS, "minimum")
+    chip_ls_4x = default_chip(circuit, LS, "4x")
+    row["capacity_min"] = chip_communication_capacity(chip_dd)
+    row["autobraid"] = compile_autobraid(circuit, chip=chip_dd).num_cycles
+    row["ecmas_dd"] = compile_circuit(circuit, model=DD, chip=chip_dd, scheduler="limited").num_cycles
+    row["edpci"] = compile_edpci(circuit, chip=chip_ls_min).num_cycles
+    row["ecmas_ls"] = compile_circuit(circuit, model=LS, chip=chip_ls_min, scheduler="limited").num_cycles
+    row["ecmas_ls_4x"] = compile_circuit(circuit, model=LS, chip=chip_ls_4x, scheduler="limited").num_cycles
+    return row
+
+
+def main() -> None:
+    workloads = [
+        standard.ising(16, layers=4),
+        standard.ising(36, layers=2),
+        standard.dnn(16, layers=4),
+        standard.dnn(24, layers=3),
+    ]
+
+    print(format_table([profile(c) for c in workloads], title="Workload profile"))
+    print("The parallelism degree (PM) of these circuits exceeds the minimum viable chip's")
+    print("communication capacity (3), which is exactly the regime Ecmas targets.\n")
+
+    rows = [evaluate(c) for c in workloads]
+    print(format_table(
+        rows,
+        ["circuit", "capacity_min", "autobraid", "ecmas_dd", "edpci", "ecmas_ls", "ecmas_ls_4x"],
+        title="Cycle counts (minimum viable chip unless noted)",
+    ))
+
+    for row in rows:
+        saved = 1.0 - row["ecmas_dd"] / row["autobraid"]
+        print(f"{row['circuit']:12s}: Ecmas removes {saved:.1%} of AutoBraid's execution time; "
+              f"a 4x lattice-surgery chip brings Ecmas to {row['ecmas_ls_4x']} cycles.")
+
+
+if __name__ == "__main__":
+    main()

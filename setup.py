@@ -1,0 +1,14 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so the package can be installed in environments without network access (no
+build isolation, no ``wheel`` package) via either::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+or the legacy ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — a reproduction of *Ecmas: Efficient Circuit Mapping and Scheduling
+for Surface Code* (CGO 2024).
+
+The public API mirrors the paper's toolflow:
+
+* build or load a logical circuit (:mod:`repro.circuits`),
+* describe the target chip (:mod:`repro.chip`),
+* compile with :func:`repro.compile_circuit` (Ecmas) or one of the baselines
+  in :mod:`repro.baselines`,
+* validate and analyse the resulting encoded circuit (:mod:`repro.verify`,
+  :mod:`repro.eval`).
+"""
+
+from repro.chip import Chip, SurfaceCodeModel, TileSlot
+from repro.circuits import Circuit, CommunicationGraph, Gate, GateDAG
+from repro.core import (
+    EcmasOptions,
+    EncodedCircuit,
+    OperationKind,
+    ScheduledOperation,
+    chip_communication_capacity,
+    circuit_parallelism_degree,
+    compile_circuit,
+    default_chip,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Circuit",
+    "Gate",
+    "GateDAG",
+    "CommunicationGraph",
+    "Chip",
+    "TileSlot",
+    "SurfaceCodeModel",
+    "compile_circuit",
+    "default_chip",
+    "EcmasOptions",
+    "EncodedCircuit",
+    "ScheduledOperation",
+    "OperationKind",
+    "circuit_parallelism_degree",
+    "chip_communication_capacity",
+]

@@ -1,0 +1,21 @@
+"""Baseline compilers and ablation configurations the paper compares against."""
+
+from repro.baselines.ablations import (
+    compile_with_cut_initialisation,
+    compile_with_cut_scheduling,
+    compile_with_gate_order,
+    compile_with_location_strategy,
+)
+from repro.baselines.autobraid import compile_autobraid
+from repro.baselines.braidflash import compile_braidflash
+from repro.baselines.edpci import compile_edpci
+
+__all__ = [
+    "compile_autobraid",
+    "compile_braidflash",
+    "compile_edpci",
+    "compile_with_location_strategy",
+    "compile_with_cut_initialisation",
+    "compile_with_gate_order",
+    "compile_with_cut_scheduling",
+]

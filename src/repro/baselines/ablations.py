@@ -1,0 +1,126 @@
+"""Ablation configurations used by the sensitivity studies (Tables II–V).
+
+Each function compiles a circuit with exactly one Ecmas component replaced by
+the baseline the paper compares against:
+
+* Table II (location initialisation): trivial snake vs single-attempt Metis vs
+  Ecmas multi-attempt placement.
+* Table III (cut-type initialisation): random vs max-cut vs bipartite-prefix.
+* Table IV (gate scheduling, lattice surgery): circuit order vs priority.
+* Table V (cut-type scheduling): channel-first vs time-first vs adaptive.
+"""
+
+from __future__ import annotations
+
+from repro.chip.chip import Chip
+from repro.chip.geometry import SurfaceCodeModel
+from repro.circuits.circuit import Circuit
+from repro.core.ecmas import EcmasOptions, compile_circuit
+from repro.core.schedule import EncodedCircuit
+
+
+def _dd_chip(circuit: Circuit, chip: Chip | None, code_distance: int) -> Chip:
+    if chip is not None:
+        return chip
+    return Chip.minimum_viable(SurfaceCodeModel.DOUBLE_DEFECT, circuit.num_qubits, code_distance)
+
+
+def _ls_chip(circuit: Circuit, chip: Chip | None, code_distance: int) -> Chip:
+    if chip is not None:
+        return chip
+    return Chip.minimum_viable(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, code_distance)
+
+
+# ------------------------------------------------------------------ Table II
+def compile_with_location_strategy(
+    circuit: Circuit,
+    strategy: str,
+    chip: Chip | None = None,
+    code_distance: int = 3,
+) -> EncodedCircuit:
+    """Ecmas (double defect, limited) with the location initialisation replaced.
+
+    ``strategy`` is ``"trivial"``, ``"metis"``, ``"ecmas"``, ``"spectral"`` or
+    ``"random"``.
+    """
+    options = EcmasOptions(placement_strategy=strategy)
+    encoded = compile_circuit(
+        circuit,
+        model=SurfaceCodeModel.DOUBLE_DEFECT,
+        chip=_dd_chip(circuit, chip, code_distance),
+        scheduler="limited",
+        options=options,
+    )
+    encoded.method = f"ecmas-dd/location={strategy}"
+    return encoded
+
+
+# ----------------------------------------------------------------- Table III
+def compile_with_cut_initialisation(
+    circuit: Circuit,
+    initialisation: str,
+    chip: Chip | None = None,
+    code_distance: int = 3,
+    seed: int = 0,
+) -> EncodedCircuit:
+    """Ecmas (double defect, limited) with the cut-type initialisation replaced.
+
+    ``initialisation`` is ``"random"``, ``"maxcut"``, ``"bipartite_prefix"`` or
+    ``"uniform"``.
+    """
+    options = EcmasOptions(cut_initialisation=initialisation, seed=seed)
+    encoded = compile_circuit(
+        circuit,
+        model=SurfaceCodeModel.DOUBLE_DEFECT,
+        chip=_dd_chip(circuit, chip, code_distance),
+        scheduler="limited",
+        options=options,
+    )
+    encoded.method = f"ecmas-dd/cut_init={initialisation}"
+    return encoded
+
+
+# ------------------------------------------------------------------ Table IV
+def compile_with_gate_order(
+    circuit: Circuit,
+    priority: str,
+    chip: Chip | None = None,
+    code_distance: int = 3,
+) -> EncodedCircuit:
+    """Ecmas (lattice surgery, limited) with the gate priority replaced.
+
+    ``priority`` is ``"circuit_order"``, ``"criticality"`` or ``"descendants"``.
+    """
+    options = EcmasOptions(priority=priority)
+    encoded = compile_circuit(
+        circuit,
+        model=SurfaceCodeModel.LATTICE_SURGERY,
+        chip=_ls_chip(circuit, chip, code_distance),
+        scheduler="limited",
+        options=options,
+    )
+    encoded.method = f"ecmas-ls/priority={priority}"
+    return encoded
+
+
+# ------------------------------------------------------------------- Table V
+def compile_with_cut_scheduling(
+    circuit: Circuit,
+    strategy: str,
+    chip: Chip | None = None,
+    code_distance: int = 3,
+) -> EncodedCircuit:
+    """Ecmas (double defect, limited) with the cut-type scheduling strategy replaced.
+
+    ``strategy`` is ``"channel_first"``, ``"time_first"`` or ``"adaptive"``.
+    """
+    options = EcmasOptions(cut_strategy=strategy)
+    encoded = compile_circuit(
+        circuit,
+        model=SurfaceCodeModel.DOUBLE_DEFECT,
+        chip=_dd_chip(circuit, chip, code_distance),
+        scheduler="limited",
+        options=options,
+    )
+    encoded.method = f"ecmas-dd/cut_sched={strategy}"
+    return encoded

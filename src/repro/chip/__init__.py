@@ -1,0 +1,32 @@
+"""Chip substrate: physical-qubit accounting, tile arrays and routing graphs."""
+
+from repro.chip.chip import Chip, TileSlot
+from repro.chip.geometry import (
+    SurfaceCodeModel,
+    channel_bandwidth,
+    communication_capacity,
+    lane_width,
+    minimum_viable_side,
+    sufficient_bandwidth,
+    tile_block_side,
+    tile_side,
+)
+from repro.chip.routing_graph import RoutingGraph, edge_key, junction, tile_node, tile_node_for
+
+__all__ = [
+    "Chip",
+    "TileSlot",
+    "SurfaceCodeModel",
+    "RoutingGraph",
+    "junction",
+    "tile_node",
+    "tile_node_for",
+    "edge_key",
+    "tile_side",
+    "tile_block_side",
+    "lane_width",
+    "channel_bandwidth",
+    "communication_capacity",
+    "sufficient_bandwidth",
+    "minimum_viable_side",
+]

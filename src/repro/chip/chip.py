@@ -1,0 +1,242 @@
+"""The :class:`Chip` model: a 2-D tile array with bandwidth-annotated channels.
+
+A chip ``L_{l×l}`` is summarised by:
+
+* the surface-code model (double defect / lattice surgery) and code distance,
+* the tile array dimensions (``tile_rows × tile_cols`` logical tile slots),
+* one *horizontal corridor* between/around each tile row (``tile_rows + 1``)
+  and one *vertical corridor* between/around each tile column
+  (``tile_cols + 1``), each with an integer bandwidth (number of lanes),
+* the physical side length, from which the per-axis channel-width budget is
+  derived (see :mod:`repro.chip.geometry`).
+
+The corridors carry the communication; their bandwidths are exactly what the
+*bandwidth adjusting* step of Ecmas redistributes (within the physical
+budget), and the chip bandwidth of the paper is the minimum over corridors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.chip import geometry
+from repro.chip.geometry import SurfaceCodeModel
+from repro.errors import ChipError
+
+
+@dataclass(frozen=True)
+class TileSlot:
+    """A position in the logical tile array (row-major)."""
+
+    row: int
+    col: int
+
+    def manhattan_distance(self, other: "TileSlot") -> int:
+        """Grid distance between two tile slots."""
+        return abs(self.row - other.row) + abs(self.col - other.col)
+
+
+@dataclass(frozen=True)
+class Chip:
+    """An immutable chip description.
+
+    Use the factory class methods (:meth:`minimum_viable`, :meth:`four_x`,
+    :meth:`for_bandwidth`, :meth:`sufficient`) rather than the constructor;
+    they perform the physical-qubit accounting of the paper.
+    """
+
+    model: SurfaceCodeModel
+    code_distance: int
+    tile_rows: int
+    tile_cols: int
+    h_bandwidths: tuple[int, ...]
+    v_bandwidths: tuple[int, ...]
+    side: int
+
+    def __post_init__(self) -> None:
+        if self.tile_rows < 1 or self.tile_cols < 1:
+            raise ChipError("chip needs at least a 1x1 tile array")
+        if len(self.h_bandwidths) != self.tile_rows + 1:
+            raise ChipError(
+                f"expected {self.tile_rows + 1} horizontal corridors, got {len(self.h_bandwidths)}"
+            )
+        if len(self.v_bandwidths) != self.tile_cols + 1:
+            raise ChipError(
+                f"expected {self.tile_cols + 1} vertical corridors, got {len(self.v_bandwidths)}"
+            )
+        if any(b < 1 for b in self.h_bandwidths + self.v_bandwidths):
+            raise ChipError("every corridor must have bandwidth at least 1")
+
+    # ------------------------------------------------------------- factories
+    @classmethod
+    def minimum_viable(cls, model: SurfaceCodeModel, num_qubits: int, code_distance: int) -> "Chip":
+        """The paper's minimum viable chip for ``num_qubits`` logical qubits."""
+        side = geometry.minimum_viable_side(model, num_qubits, code_distance)
+        return cls.from_side(model, num_qubits, code_distance, side)
+
+    @classmethod
+    def four_x(cls, model: SurfaceCodeModel, num_qubits: int, code_distance: int) -> "Chip":
+        """The paper's "4x" resource configuration."""
+        side = geometry.four_x_side(model, num_qubits, code_distance)
+        return cls.from_side(model, num_qubits, code_distance, side)
+
+    @classmethod
+    def for_bandwidth(
+        cls, model: SurfaceCodeModel, num_qubits: int, code_distance: int, bandwidth: int
+    ) -> "Chip":
+        """Smallest chip whose every corridor has at least ``bandwidth`` lanes."""
+        side = geometry.side_for_bandwidth(model, num_qubits, code_distance, bandwidth)
+        chip = cls.from_side(model, num_qubits, code_distance, side)
+        if chip.bandwidth < bandwidth:
+            # The uniform accounting rounds down; bump the side until satisfied.
+            while chip.bandwidth < bandwidth:
+                side += code_distance
+                chip = cls.from_side(model, num_qubits, code_distance, side)
+        return chip
+
+    @classmethod
+    def sufficient(
+        cls, model: SurfaceCodeModel, num_qubits: int, code_distance: int, parallelism: int
+    ) -> "Chip":
+        """A chip whose communication capacity covers the circuit parallelism.
+
+        This is the configuration Ecmas-ReSu assumes (Section IV-B2): the
+        bandwidth ``b`` satisfies ``⌊(b-1)/2⌋ + 3 ≥ PM``.
+        """
+        bandwidth = geometry.sufficient_bandwidth(parallelism)
+        return cls.for_bandwidth(model, num_qubits, code_distance, bandwidth)
+
+    @classmethod
+    def from_side(
+        cls, model: SurfaceCodeModel, num_qubits: int, code_distance: int, side: int
+    ) -> "Chip":
+        """Build a chip of physical side ``side`` hosting ``num_qubits`` logical qubits."""
+        tiles_per_side = int(math.ceil(math.sqrt(num_qubits)))
+        bandwidths = geometry.uniform_bandwidths(model, code_distance, tiles_per_side, side)
+        return cls(
+            model=model,
+            code_distance=code_distance,
+            tile_rows=tiles_per_side,
+            tile_cols=tiles_per_side,
+            h_bandwidths=tuple(bandwidths),
+            v_bandwidths=tuple(bandwidths),
+            side=side,
+        )
+
+    @classmethod
+    def with_tile_array(
+        cls,
+        model: SurfaceCodeModel,
+        code_distance: int,
+        tile_rows: int,
+        tile_cols: int,
+        bandwidth: int = 1,
+    ) -> "Chip":
+        """Explicit tile-array constructor with a uniform bandwidth (for tests)."""
+        lane = geometry.lane_width(model, code_distance)
+        core = geometry.tile_side(model, code_distance)
+        side = max(tile_rows, tile_cols) * core + int(
+            math.ceil((max(tile_rows, tile_cols) + 1) * bandwidth * lane)
+        )
+        return cls(
+            model=model,
+            code_distance=code_distance,
+            tile_rows=tile_rows,
+            tile_cols=tile_cols,
+            h_bandwidths=tuple([bandwidth] * (tile_rows + 1)),
+            v_bandwidths=tuple([bandwidth] * (tile_cols + 1)),
+            side=side,
+        )
+
+    # ------------------------------------------------------------- properties
+    @property
+    def num_tile_slots(self) -> int:
+        """Number of logical tile positions on the chip."""
+        return self.tile_rows * self.tile_cols
+
+    @property
+    def bandwidth(self) -> int:
+        """The chip bandwidth: the minimum bandwidth over all corridors."""
+        return min(min(self.h_bandwidths), min(self.v_bandwidths))
+
+    @property
+    def communication_capacity(self) -> int:
+        """Chip communication capacity ``⌊(b-1)/2⌋ + 3`` (Theorem 2)."""
+        return geometry.communication_capacity(self.bandwidth)
+
+    @property
+    def physical_qubits(self) -> int:
+        """Total number of physical qubits of the square chip."""
+        return geometry.total_physical_qubits(self.side)
+
+    def tile_slots(self) -> list[TileSlot]:
+        """All tile slots in row-major order."""
+        return [TileSlot(r, c) for r in range(self.tile_rows) for c in range(self.tile_cols)]
+
+    def contains_slot(self, slot: TileSlot) -> bool:
+        """True when ``slot`` lies within the tile array."""
+        return 0 <= slot.row < self.tile_rows and 0 <= slot.col < self.tile_cols
+
+    # ------------------------------------------------------ bandwidth adjusting
+    def lane_budget_per_axis(self) -> tuple[int, int]:
+        """Maximum total lanes per axis (horizontal corridors, vertical corridors).
+
+        Bandwidth adjusting may redistribute lanes between corridors of the
+        same axis but may not exceed these totals, which reflect the physical
+        width available on the chip.
+        """
+        h_budget = geometry.axis_budget(self.model, self.code_distance, self.tile_rows, self.side)
+        v_budget = geometry.axis_budget(self.model, self.code_distance, self.tile_cols, self.side)
+        h_total = max(h_budget.max_total_lanes(), sum(self.h_bandwidths))
+        v_total = max(v_budget.max_total_lanes(), sum(self.v_bandwidths))
+        return h_total, v_total
+
+    def with_bandwidths(
+        self, h_bandwidths: list[int] | tuple[int, ...], v_bandwidths: list[int] | tuple[int, ...]
+    ) -> "Chip":
+        """Return a chip with redistributed corridor bandwidths.
+
+        Raises :class:`ChipError` if the requested layout exceeds the physical
+        lane budget of either axis or drops a corridor below one lane.
+        """
+        h_bandwidths = tuple(int(b) for b in h_bandwidths)
+        v_bandwidths = tuple(int(b) for b in v_bandwidths)
+        h_total, v_total = self.lane_budget_per_axis()
+        if len(h_bandwidths) != self.tile_rows + 1 or len(v_bandwidths) != self.tile_cols + 1:
+            raise ChipError("bandwidth vectors must match the corridor counts")
+        if any(b < 1 for b in h_bandwidths + v_bandwidths):
+            raise ChipError("every corridor must keep at least one lane")
+        if sum(h_bandwidths) > h_total:
+            raise ChipError(
+                f"horizontal lane budget exceeded: {sum(h_bandwidths)} > {h_total}"
+            )
+        if sum(v_bandwidths) > v_total:
+            raise ChipError(
+                f"vertical lane budget exceeded: {sum(v_bandwidths)} > {v_total}"
+            )
+        return replace(self, h_bandwidths=h_bandwidths, v_bandwidths=v_bandwidths)
+
+    def scaled_bandwidth(self, bandwidth: int) -> "Chip":
+        """Return a copy with every corridor set to ``bandwidth`` lanes (for sweeps)."""
+        lane = geometry.lane_width(self.model, self.code_distance)
+        core = geometry.tile_side(self.model, self.code_distance)
+        tiles = max(self.tile_rows, self.tile_cols)
+        side = tiles * core + int(math.ceil((tiles + 1) * bandwidth * lane))
+        return Chip(
+            model=self.model,
+            code_distance=self.code_distance,
+            tile_rows=self.tile_rows,
+            tile_cols=self.tile_cols,
+            h_bandwidths=tuple([bandwidth] * (self.tile_rows + 1)),
+            v_bandwidths=tuple([bandwidth] * (self.tile_cols + 1)),
+            side=max(side, self.side),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable description used by reports."""
+        return (
+            f"{self.model.value} chip L{self.side}x{self.side} (d={self.code_distance}), "
+            f"{self.tile_rows}x{self.tile_cols} tiles, bandwidth={self.bandwidth}, "
+            f"capacity={self.communication_capacity}"
+        )

@@ -1,0 +1,194 @@
+"""Corridor routing graph built from a :class:`~repro.chip.chip.Chip`.
+
+Nodes
+-----
+* **Junction nodes** ``("j", r, c)`` — the crossing of horizontal corridor
+  ``r`` (``0..tile_rows``) and vertical corridor ``c`` (``0..tile_cols``).
+* **Tile nodes** ``("t", i, j)`` — the logical tile slot at row ``i``,
+  column ``j``.  Tile nodes are only legal as path *endpoints*: a braiding /
+  Bell-state path may start and end at a tile but never pass through one.
+
+Edges
+-----
+* Horizontal corridor segments ``("j", r, c) – ("j", r, c+1)`` with capacity
+  equal to the bandwidth of horizontal corridor ``r``.
+* Vertical corridor segments ``("j", r, c) – ("j", r+1, c)`` with capacity
+  equal to the bandwidth of vertical corridor ``c``.
+* Tile access edges between a tile node and its four corner junctions.
+
+Capacities are *per clock cycle*: a set of CNOT paths executes simultaneously
+iff, for every edge, the number of paths using the edge does not exceed the
+edge capacity.  With all bandwidths equal to one this reduces to the
+edge-disjointness constraint of prior work; larger bandwidths model the
+paper's software-defined channels.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.chip.chip import Chip, TileSlot
+from repro.errors import ChipError, RoutingError
+
+#: Node type alias: ("j", row, col) for junctions, ("t", row, col) for tiles.
+Node = tuple[str, int, int]
+#: Canonical undirected edge key (the two endpoints, sorted).
+EdgeKey = tuple[Node, Node]
+
+
+def junction(row: int, col: int) -> Node:
+    """The junction node at corridor crossing ``(row, col)``."""
+    return ("j", row, col)
+
+
+def tile_node(row: int, col: int) -> Node:
+    """The tile node for tile slot ``(row, col)``."""
+    return ("t", row, col)
+
+
+def tile_node_for(slot: TileSlot) -> Node:
+    """The tile node for a :class:`TileSlot`."""
+    return tile_node(slot.row, slot.col)
+
+
+def edge_key(a: Node, b: Node) -> EdgeKey:
+    """Canonical (order-independent) key for the undirected edge ``{a, b}``."""
+    return (a, b) if a <= b else (b, a)
+
+
+#: Capacity of a tile-access edge.  A tile participates in at most one CNOT
+#: per cycle, but the double defect model may attach both an entry and an
+#: ancilla braid to the same tile, so two lanes are allowed at the boundary.
+TILE_ACCESS_CAPACITY = 2
+
+
+class RoutingGraph:
+    """Undirected capacitated graph over junction and tile nodes."""
+
+    def __init__(self, chip: Chip):
+        self._chip = chip
+        self._adjacency: dict[Node, list[Node]] = {}
+        self._capacity: dict[EdgeKey, int] = {}
+        self._build()
+
+    # ----------------------------------------------------------- construction
+    def _build(self) -> None:
+        chip = self._chip
+        for r in range(chip.tile_rows + 1):
+            for c in range(chip.tile_cols + 1):
+                self._adjacency.setdefault(junction(r, c), [])
+        # Horizontal corridor segments.
+        for r in range(chip.tile_rows + 1):
+            capacity = chip.h_bandwidths[r]
+            for c in range(chip.tile_cols):
+                self._add_edge(junction(r, c), junction(r, c + 1), capacity)
+        # Vertical corridor segments.
+        for c in range(chip.tile_cols + 1):
+            capacity = chip.v_bandwidths[c]
+            for r in range(chip.tile_rows):
+                self._add_edge(junction(r, c), junction(r + 1, c), capacity)
+        # Tile access edges.
+        for i in range(chip.tile_rows):
+            for j in range(chip.tile_cols):
+                tile = tile_node(i, j)
+                self._adjacency.setdefault(tile, [])
+                for corner in (junction(i, j), junction(i, j + 1), junction(i + 1, j), junction(i + 1, j + 1)):
+                    self._add_edge(tile, corner, TILE_ACCESS_CAPACITY)
+
+    def _add_edge(self, a: Node, b: Node, capacity: int) -> None:
+        if capacity < 1:
+            raise ChipError(f"edge {a}-{b} must have positive capacity")
+        key = edge_key(a, b)
+        if key in self._capacity:
+            return
+        self._capacity[key] = capacity
+        self._adjacency.setdefault(a, []).append(b)
+        self._adjacency.setdefault(b, []).append(a)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def chip(self) -> Chip:
+        """The chip this graph was built from."""
+        return self._chip
+
+    def node_capacity(self, node: Node) -> int:
+        """Number of distinct paths that may pass *through* ``node`` in one cycle.
+
+        The paper requires simultaneously executed CNOT paths to be
+        non-intersecting, i.e. vertex-disjoint at unit bandwidth.  A junction
+        where a horizontal corridor of bandwidth ``bh`` crosses a vertical
+        corridor of bandwidth ``bv`` provides ``max(bh, bv)`` disjoint lanes
+        through the crossing.  Tile nodes are only path endpoints, so their
+        capacity is effectively unbounded.
+        """
+        if self.is_tile(node):
+            return 1 << 30
+        _, row, col = node
+        return max(self._chip.h_bandwidths[row], self._chip.v_bandwidths[col])
+
+    @property
+    def nodes(self) -> tuple[Node, ...]:
+        """All nodes (junctions then tiles, in insertion order)."""
+        return tuple(self._adjacency)
+
+    @property
+    def edges(self) -> tuple[EdgeKey, ...]:
+        """All undirected edge keys."""
+        return tuple(self._capacity)
+
+    def capacity(self, a: Node, b: Node) -> int:
+        """Capacity of the edge between ``a`` and ``b``."""
+        try:
+            return self._capacity[edge_key(a, b)]
+        except KeyError as exc:
+            raise RoutingError(f"no edge between {a} and {b}") from exc
+
+    def has_edge(self, a: Node, b: Node) -> bool:
+        """True when the graph contains the edge ``{a, b}``."""
+        return edge_key(a, b) in self._capacity
+
+    def neighbors(self, node: Node) -> tuple[Node, ...]:
+        """Adjacent nodes of ``node``."""
+        try:
+            return tuple(self._adjacency[node])
+        except KeyError as exc:
+            raise RoutingError(f"unknown node {node}") from exc
+
+    def is_tile(self, node: Node) -> bool:
+        """True for tile nodes."""
+        return node[0] == "t"
+
+    def tile_nodes(self) -> tuple[Node, ...]:
+        """All tile nodes in row-major order."""
+        return tuple(
+            tile_node(i, j)
+            for i in range(self._chip.tile_rows)
+            for j in range(self._chip.tile_cols)
+        )
+
+    def corridor_of(self, a: Node, b: Node) -> tuple[str, int] | None:
+        """Identify the corridor an edge belongs to.
+
+        Returns ``("h", r)`` for a segment of horizontal corridor ``r``,
+        ``("v", c)`` for a vertical corridor segment, and ``None`` for tile
+        access edges.  Used by bandwidth adjusting to attribute path load to
+        corridors.
+        """
+        if self.is_tile(a) or self.is_tile(b):
+            return None
+        (_, ra, ca), (_, rb, cb) = a, b
+        if ra == rb:
+            return ("h", ra)
+        if ca == cb:
+            return ("v", ca)
+        raise RoutingError(f"{a} and {b} are not adjacent junctions")  # pragma: no cover
+
+    def path_edges(self, path: Iterable[Node]) -> list[EdgeKey]:
+        """Edge keys traversed by a node path, validating adjacency."""
+        nodes = list(path)
+        edges: list[EdgeKey] = []
+        for a, b in zip(nodes, nodes[1:]):
+            if not self.has_edge(a, b):
+                raise RoutingError(f"path step {a} -> {b} is not an edge")
+            edges.append(edge_key(a, b))
+        return edges

@@ -1,0 +1,26 @@
+"""Circuit intermediate representation and front-ends.
+
+Public surface:
+
+* :class:`Gate`, :class:`Circuit` — the gate-level IR,
+* :class:`GateDAG`, :class:`DagFrontier` — the CNOT dependency DAG (``G_P``),
+* :class:`CommunicationGraph` — the weighted qubit communication graph (``G_C``),
+* :mod:`repro.circuits.qasm` — OpenQASM 2.0 parsing and serialisation,
+* :mod:`repro.circuits.generators` — benchmark circuit generators.
+"""
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.comm_graph import CommunicationGraph
+from repro.circuits.dag import DagFrontier, GateDAG
+from repro.circuits.gate import Gate, GateKind, cnot, single
+
+__all__ = [
+    "Gate",
+    "GateKind",
+    "cnot",
+    "single",
+    "Circuit",
+    "GateDAG",
+    "DagFrontier",
+    "CommunicationGraph",
+]

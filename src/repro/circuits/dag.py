@@ -1,0 +1,270 @@
+"""Dependency DAG over CNOT gates (``G_P`` in the paper, Fig. 6b).
+
+Each node is a CNOT gate; an edge ``u -> v`` means ``v`` acts on a qubit that
+``u`` acted on most recently before ``v`` in program order, so ``v`` may only
+be scheduled after ``u``.  The DAG exposes the quantities the Ecmas algorithms
+consume:
+
+* ASAP / ALAP levels (``Low``/``High`` in Algorithm *Para-Finding*),
+* the critical-path length ``α`` (circuit depth),
+* per-gate *criticality* (length of the longest chain of descendants) and
+  *descendant count*, which drive the gate priority of Algorithm 1,
+* a :class:`DagFrontier` view that schedulers consume destructively.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gate import Gate
+from repro.errors import CircuitError
+
+
+class GateDAG:
+    """Immutable dependency DAG over the CNOT gates of a circuit."""
+
+    def __init__(self, num_qubits: int, gates: Iterable[Gate]):
+        self._num_qubits = num_qubits
+        self._gates: list[Gate] = list(gates)
+        for node, gate in enumerate(self._gates):
+            if not gate.is_cnot:
+                raise CircuitError(f"GateDAG only accepts CNOT gates, got {gate} at position {node}")
+        self._succ: list[list[int]] = [[] for _ in self._gates]
+        self._pred: list[list[int]] = [[] for _ in self._gates]
+        self._build_edges()
+        self._asap = self._compute_asap()
+        self._alap = self._compute_alap()
+        self._criticality = self._compute_criticality()
+        self._descendant_count = self._compute_descendant_counts()
+
+    # ----------------------------------------------------------- construction
+    @classmethod
+    def from_circuit(cls, circuit: Circuit) -> "GateDAG":
+        """Build the DAG from the CNOT gates of ``circuit``."""
+        return cls(circuit.num_qubits, circuit.cnot_gates())
+
+    def _build_edges(self) -> None:
+        last_on_qubit: dict[int, int] = {}
+        for node, gate in enumerate(self._gates):
+            parents = {last_on_qubit[q] for q in gate.qubits if q in last_on_qubit}
+            for parent in sorted(parents):
+                self._succ[parent].append(node)
+                self._pred[node].append(parent)
+            for q in gate.qubits:
+                last_on_qubit[q] = node
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def num_qubits(self) -> int:
+        """Number of logical qubits of the underlying circuit."""
+        return self._num_qubits
+
+    @property
+    def num_gates(self) -> int:
+        """Number of CNOT gates (DAG nodes)."""
+        return len(self._gates)
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    def gate(self, node: int) -> Gate:
+        """The gate stored at DAG node ``node``."""
+        return self._gates[node]
+
+    @property
+    def gates(self) -> tuple[Gate, ...]:
+        """All gates, indexed by node id."""
+        return tuple(self._gates)
+
+    def successors(self, node: int) -> tuple[int, ...]:
+        """Direct successors (children) of ``node``."""
+        return tuple(self._succ[node])
+
+    def predecessors(self, node: int) -> tuple[int, ...]:
+        """Direct predecessors (parents) of ``node``."""
+        return tuple(self._pred[node])
+
+    def sources(self) -> tuple[int, ...]:
+        """Nodes with no predecessors (the initial front gates)."""
+        return tuple(n for n in range(len(self._gates)) if not self._pred[n])
+
+    def sinks(self) -> tuple[int, ...]:
+        """Nodes with no successors."""
+        return tuple(n for n in range(len(self._gates)) if not self._succ[n])
+
+    # ------------------------------------------------------------------ levels
+    def _compute_asap(self) -> list[int]:
+        asap = [0] * len(self._gates)
+        for node in self.topological_order():
+            preds = self._pred[node]
+            asap[node] = 1 + max((asap[p] for p in preds), default=0)
+        return asap
+
+    def _compute_alap(self) -> list[int]:
+        depth = self.depth()
+        alap = [depth] * len(self._gates)
+        for node in reversed(list(self.topological_order())):
+            succs = self._succ[node]
+            alap[node] = min((alap[s] - 1 for s in succs), default=depth)
+        return alap
+
+    def _compute_criticality(self) -> list[int]:
+        """Longest chain starting at each node, inclusive (>= 1)."""
+        crit = [1] * len(self._gates)
+        for node in reversed(list(self.topological_order())):
+            for succ in self._succ[node]:
+                crit[node] = max(crit[node], 1 + crit[succ])
+        return crit
+
+    def _compute_descendant_counts(self) -> list[int]:
+        """Number of (not necessarily distinct-path) descendants of each node.
+
+        Exact descendant sets can be quadratic in memory for large circuits;
+        we compute exact counts with bitsets only for moderately sized DAGs
+        and fall back to a reachable-count approximation via reverse BFS
+        otherwise.  The priority function only needs a consistent ordering.
+        """
+        n = len(self._gates)
+        if n == 0:
+            return []
+        if n <= 4096:
+            masks = [0] * n
+            for node in reversed(list(self.topological_order())):
+                mask = 0
+                for succ in self._succ[node]:
+                    mask |= masks[succ] | (1 << succ)
+                masks[node] = mask
+            return [mask.bit_count() for mask in masks]
+        # Approximation: sum of successor counts along the longest chain.
+        counts = [0] * n
+        for node in reversed(list(self.topological_order())):
+            counts[node] = sum(1 + counts[s] for s in self._succ[node])
+        return counts
+
+    def asap_level(self, node: int) -> int:
+        """Earliest layer (1-based) in which ``node`` may execute."""
+        return self._asap[node]
+
+    def alap_level(self, node: int) -> int:
+        """Latest layer (1-based) in which ``node`` may execute without extending depth."""
+        return self._alap[node]
+
+    def criticality(self, node: int) -> int:
+        """Length of the longest dependency chain rooted at ``node`` (inclusive)."""
+        return self._criticality[node]
+
+    def descendant_count(self, node: int) -> int:
+        """Number of gates that transitively depend on ``node``."""
+        return self._descendant_count[node]
+
+    def depth(self) -> int:
+        """Critical-path length ``α`` of the CNOT circuit."""
+        return max(self._asap, default=0) if self._gates else 0
+
+    def slack(self, node: int) -> int:
+        """ALAP minus ASAP level; zero for critical gates."""
+        return self._alap[node] - self._asap[node]
+
+    # -------------------------------------------------------------- traversal
+    def topological_order(self) -> Iterator[int]:
+        """Yield node ids in a topological order (Kahn's algorithm)."""
+        indegree = [len(p) for p in self._pred]
+        queue = deque(n for n in range(len(self._gates)) if indegree[n] == 0)
+        emitted = 0
+        while queue:
+            node = queue.popleft()
+            emitted += 1
+            yield node
+            for succ in self._succ[node]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    queue.append(succ)
+        if emitted != len(self._gates):  # pragma: no cover - construction makes cycles impossible
+            raise CircuitError("dependency graph contains a cycle")
+
+    def asap_layers(self) -> list[list[int]]:
+        """Nodes grouped by ASAP level; layer ``i`` is list index ``i`` (0-based)."""
+        layers: list[list[int]] = [[] for _ in range(self.depth())]
+        for node, level in enumerate(self._asap):
+            layers[level - 1].append(node)
+        return layers
+
+    def frontier(self) -> "DagFrontier":
+        """A fresh mutable scheduling view over this DAG."""
+        return DagFrontier(self)
+
+    def to_networkx(self):
+        """Export as a :mod:`networkx` DiGraph (node attribute ``gate``)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        for node, gate in enumerate(self._gates):
+            graph.add_node(node, gate=gate)
+        for node, succs in enumerate(self._succ):
+            for succ in succs:
+                graph.add_edge(node, succ)
+        return graph
+
+
+class DagFrontier:
+    """Mutable view of a :class:`GateDAG` used by schedulers.
+
+    Tracks which gates have completed and exposes the *ready set* (gates whose
+    predecessors have all completed).  Completing gates is the only mutation.
+    """
+
+    def __init__(self, dag: GateDAG):
+        self._dag = dag
+        self._remaining_preds = [len(dag.predecessors(n)) for n in range(len(dag))]
+        self._completed = [False] * len(dag)
+        self._ready: set[int] = {n for n, count in enumerate(self._remaining_preds) if count == 0}
+        self._num_completed = 0
+
+    @property
+    def dag(self) -> GateDAG:
+        """The underlying immutable DAG."""
+        return self._dag
+
+    @property
+    def num_remaining(self) -> int:
+        """Number of gates not yet completed."""
+        return len(self._dag) - self._num_completed
+
+    def is_done(self) -> bool:
+        """True when every gate has completed."""
+        return self._num_completed == len(self._dag)
+
+    def ready_nodes(self) -> tuple[int, ...]:
+        """Currently schedulable nodes, in ascending node id order."""
+        return tuple(sorted(self._ready))
+
+    def is_ready(self, node: int) -> bool:
+        """True if ``node`` is ready (all predecessors completed, itself not)."""
+        return node in self._ready
+
+    def is_completed(self, node: int) -> bool:
+        """True if ``node`` has been completed."""
+        return self._completed[node]
+
+    def complete(self, node: int) -> tuple[int, ...]:
+        """Mark ``node`` as executed; returns nodes that became ready."""
+        if self._completed[node]:
+            raise CircuitError(f"gate node {node} completed twice")
+        if node not in self._ready:
+            raise CircuitError(f"gate node {node} completed before its predecessors")
+        self._ready.discard(node)
+        self._completed[node] = True
+        self._num_completed += 1
+        newly_ready: list[int] = []
+        for succ in self._dag.successors(node):
+            self._remaining_preds[succ] -= 1
+            if self._remaining_preds[succ] == 0:
+                self._ready.add(succ)
+                newly_ready.append(succ)
+        return tuple(newly_ready)
+
+    def remaining_nodes(self) -> tuple[int, ...]:
+        """All nodes not yet completed."""
+        return tuple(n for n in range(len(self._dag)) if not self._completed[n])

@@ -1,0 +1,137 @@
+"""Gate-level intermediate representation.
+
+The Ecmas transformation only needs to reason about CNOT gates (every
+single-qubit gate is executed locally inside a tile, see Section III of the
+paper), but the QASM front-end and the benchmark generators produce full
+circuits.  The IR therefore keeps every gate, tagging each with enough
+structure for the scheduler to extract the CNOT dependency DAG.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitError
+
+
+class GateKind(enum.Enum):
+    """Coarse classification of gates used by the transformation pipeline."""
+
+    SINGLE_QUBIT = "single"
+    CNOT = "cnot"
+    TWO_QUBIT_OTHER = "two_other"
+    MEASUREMENT = "measure"
+    BARRIER = "barrier"
+
+
+#: Names that the QASM front-end and the generators recognise as single-qubit.
+SINGLE_QUBIT_NAMES = frozenset(
+    {
+        "id", "x", "y", "z", "h", "s", "sdg", "t", "tdg",
+        "rx", "ry", "rz", "u1", "u2", "u3", "u", "p", "sx", "sxdg",
+    }
+)
+
+#: Two-qubit names that are rewritten to CNOT-based decompositions.
+TWO_QUBIT_NAMES = frozenset({"cx", "cnot", "cz", "swap", "ch", "crz", "cry", "crx", "cu1", "cp", "cu3", "rzz", "rxx"})
+
+#: Three-qubit names that the expander decomposes.
+THREE_QUBIT_NAMES = frozenset({"ccx", "toffoli", "cswap", "fredkin"})
+
+
+@dataclass(frozen=True)
+class Gate:
+    """A single gate instance in a :class:`~repro.circuits.circuit.Circuit`.
+
+    Attributes
+    ----------
+    name:
+        Lower-case gate name, e.g. ``"cx"`` or ``"h"``.
+    qubits:
+        Tuple of logical qubit indices the gate acts on.  For CNOT gates the
+        order is ``(control, target)``.
+    params:
+        Tuple of float parameters (rotation angles).  Kept for round-tripping
+        QASM; ignored by the scheduler.
+    index:
+        Position of the gate in the owning circuit, assigned by the circuit.
+        ``-1`` for free-standing gates.
+    """
+
+    name: str
+    qubits: tuple[int, ...]
+    params: tuple[float, ...] = field(default=())
+    index: int = -1
+
+    def __post_init__(self) -> None:
+        if not self.qubits:
+            raise CircuitError(f"gate {self.name!r} must act on at least one qubit")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"gate {self.name!r} has repeated qubit operands {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise CircuitError(f"gate {self.name!r} has a negative qubit index {self.qubits}")
+
+    @property
+    def kind(self) -> GateKind:
+        """Classify this gate for the transformation pipeline."""
+        name = self.name
+        if name in ("cx", "cnot"):
+            return GateKind.CNOT
+        if name == "barrier":
+            return GateKind.BARRIER
+        if name in ("measure", "reset"):
+            return GateKind.MEASUREMENT
+        if len(self.qubits) == 1:
+            return GateKind.SINGLE_QUBIT
+        return GateKind.TWO_QUBIT_OTHER
+
+    @property
+    def is_cnot(self) -> bool:
+        """True when this is a CNOT gate (``cx``)."""
+        return self.kind is GateKind.CNOT
+
+    @property
+    def control(self) -> int:
+        """Control qubit of a CNOT gate."""
+        if not self.is_cnot:
+            raise CircuitError(f"gate {self.name!r} has no control qubit")
+        return self.qubits[0]
+
+    @property
+    def target(self) -> int:
+        """Target qubit of a CNOT gate."""
+        if not self.is_cnot:
+            raise CircuitError(f"gate {self.name!r} has no target qubit")
+        return self.qubits[1]
+
+    def with_index(self, index: int) -> "Gate":
+        """Return a copy of this gate tagged with a circuit position."""
+        return Gate(self.name, self.qubits, self.params, index)
+
+    def remapped(self, mapping: dict[int, int]) -> "Gate":
+        """Return a copy with qubits renamed through ``mapping``."""
+        try:
+            qubits = tuple(mapping[q] for q in self.qubits)
+        except KeyError as exc:
+            raise CircuitError(f"qubit {exc.args[0]} missing from remapping") from exc
+        return Gate(self.name, qubits, self.params, self.index)
+
+    def __str__(self) -> str:
+        params = ""
+        if self.params:
+            params = "(" + ", ".join(f"{p:g}" for p in self.params) + ")"
+        qubits = ", ".join(f"q{q}" for q in self.qubits)
+        return f"{self.name}{params} {qubits}"
+
+
+def cnot(control: int, target: int) -> Gate:
+    """Convenience constructor for a CNOT gate."""
+    if control == target:
+        raise CircuitError("CNOT control and target must differ")
+    return Gate("cx", (control, target))
+
+
+def single(name: str, qubit: int, *params: float) -> Gate:
+    """Convenience constructor for a single-qubit gate."""
+    return Gate(name, (qubit,), tuple(params))

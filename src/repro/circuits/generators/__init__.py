@@ -1,0 +1,30 @@
+"""Benchmark circuit generators.
+
+* :mod:`repro.circuits.generators.standard` — the named benchmark families
+  (GHZ, QFT, adders, Ising, DNN ansatz, Grover, ...),
+* :mod:`repro.circuits.generators.random_parallel` — QUEKO-style random
+  circuits with a prescribed parallelism degree (Figures 11 and 12),
+* :mod:`repro.circuits.generators.suite` — the Table I registry mapping
+  benchmark names to factories and to the paper-reported statistics.
+"""
+
+from repro.circuits.generators.random_parallel import parallelism_group, random_parallel_circuit
+from repro.circuits.generators.suite import (
+    TABLE1_SUITE,
+    BenchmarkSpec,
+    default_suite,
+    get_benchmark,
+    sensitivity_suite,
+)
+from repro.circuits.generators import standard
+
+__all__ = [
+    "standard",
+    "random_parallel_circuit",
+    "parallelism_group",
+    "BenchmarkSpec",
+    "TABLE1_SUITE",
+    "default_suite",
+    "sensitivity_suite",
+    "get_benchmark",
+]

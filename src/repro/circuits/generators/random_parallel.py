@@ -1,0 +1,101 @@
+"""QUEKO-style random circuits with a prescribed parallelism degree.
+
+Figure 11 and Figure 12 of the paper evaluate on "50 random quantum circuits
+with 49 qubits, 50 depth, and parallelism ranging from 1 to 21", generated in
+the spirit of QUEKO (Tan & Cong, 2020): circuits constructed layer-by-layer so
+that their optimal depth and per-layer parallelism are known by construction.
+
+:func:`random_parallel_circuit` builds one such circuit; :func:`parallelism_group`
+builds a test group of several circuits that share the same parameters, as the
+paper averages cycle counts over each group.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+
+def random_parallel_circuit(
+    num_qubits: int,
+    depth: int,
+    parallelism: int,
+    seed: int | None = None,
+) -> Circuit:
+    """Build a random circuit with ``depth`` layers of ``parallelism`` CNOTs each.
+
+    Construction (QUEKO-style "backbone + filler"):
+
+    * every layer contains exactly ``parallelism`` CNOT gates on disjoint qubit
+      pairs, so the circuit parallelism degree is at most ``parallelism``;
+    * one designated *backbone* qubit appears in a gate of every layer, so the
+      dependency chain through the backbone forces the DAG depth to equal
+      ``depth`` and prevents layers from being merged — which also pins the
+      parallelism degree from below.
+
+    Parameters
+    ----------
+    num_qubits:
+        Number of logical qubits; must satisfy ``2 * parallelism <= num_qubits``.
+    depth:
+        Number of layers (the resulting CNOT DAG has exactly this depth).
+    parallelism:
+        Number of independent CNOT gates per layer.
+    seed:
+        Seed for the internal RNG; runs are reproducible for equal seeds.
+    """
+    if parallelism < 1:
+        raise CircuitError("parallelism must be at least 1")
+    if depth < 1:
+        raise CircuitError("depth must be at least 1")
+    if 2 * parallelism > num_qubits:
+        raise CircuitError(
+            f"{parallelism} parallel CNOTs need {2 * parallelism} qubits but only {num_qubits} are available"
+        )
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"random_p{parallelism}_d{depth}_n{num_qubits}")
+    backbone = 0
+    previous_backbone_partner: int | None = None
+    for _ in range(depth):
+        qubits = list(range(num_qubits))
+        qubits.remove(backbone)
+        rng.shuffle(qubits)
+        partner = qubits.pop()
+        # Avoid re-pairing the backbone with the same partner twice in a row so
+        # consecutive backbone gates are genuine dependencies, not cancellations.
+        if previous_backbone_partner is not None and partner == previous_backbone_partner and qubits:
+            qubits.append(partner)
+            rng.shuffle(qubits)
+            partner = qubits.pop()
+        previous_backbone_partner = partner
+        if rng.random() < 0.5:
+            circuit.cx(backbone, partner)
+        else:
+            circuit.cx(partner, backbone)
+        for _ in range(parallelism - 1):
+            a = qubits.pop()
+            b = qubits.pop()
+            if rng.random() < 0.5:
+                a, b = b, a
+            circuit.cx(a, b)
+    return circuit
+
+
+def parallelism_group(
+    num_qubits: int,
+    depth: int,
+    parallelism: int,
+    group_size: int,
+    seed: int = 0,
+) -> list[Circuit]:
+    """A group of ``group_size`` circuits sharing (qubits, depth, parallelism).
+
+    The paper uses groups of 50 circuits and reports the average cycle count
+    per group; smaller groups are used in the benches to keep runtimes sane.
+    """
+    return [
+        random_parallel_circuit(num_qubits, depth, parallelism, seed=seed * 10_000 + index)
+        for index in range(group_size)
+    ]

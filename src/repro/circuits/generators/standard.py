@@ -1,0 +1,480 @@
+"""Generators for the standard benchmark circuit families used by the paper.
+
+The paper evaluates on circuits drawn from IBM Qiskit, ScaffCC, QUEKO and
+QASMBench (Table I).  Those exact benchmark files are not redistributable
+here, so each family is synthesised programmatically with the same qubit
+count and the same communication structure (see DESIGN.md, "Substitutions").
+Every generator returns a :class:`~repro.circuits.circuit.Circuit` whose CNOT
+sub-circuit drives the Ecmas pipeline.
+
+All generators only emit gates from the primitive set (single-qubit + ``cx``),
+so the resulting circuits round-trip through the QASM writer unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.errors import CircuitError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise CircuitError(message)
+
+
+# ------------------------------------------------------------------ state prep
+def ghz_state(num_qubits: int) -> Circuit:
+    """GHZ state preparation: H on qubit 0 then a CNOT chain (``ghz_state_n23``)."""
+    _require(num_qubits >= 2, "GHZ state needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"ghz_state_n{num_qubits}")
+    circuit.add_single("h", 0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def w_state(num_qubits: int) -> Circuit:
+    """W-state preparation (``wstate_n27``): cascaded controlled rotations.
+
+    Each controlled-RY is decomposed into two CNOTs plus single-qubit
+    rotations, followed by a CNOT chain, which reproduces the linear
+    communication structure of the QASMBench ``wstate`` benchmark.
+    """
+    _require(num_qubits >= 2, "W state needs at least two qubits")
+    circuit = Circuit(num_qubits, name=f"wstate_n{num_qubits}")
+    circuit.add_single("x", num_qubits - 1)
+    for qubit in range(num_qubits - 1, 0, -1):
+        theta = 2 * math.acos(math.sqrt(1.0 / (qubit + 1)))
+        control, target = qubit, qubit - 1
+        circuit.add_single("ry", target, theta / 2)
+        circuit.cx(control, target)
+        circuit.add_single("ry", target, -theta / 2)
+        circuit.cx(control, target)
+    return circuit
+
+
+def bernstein_vazirani(num_qubits: int, secret: int | None = None) -> Circuit:
+    """Bernstein–Vazirani with an all-ones secret by default (``BV_n10/n50``).
+
+    Qubit ``num_qubits - 1`` is the oracle ancilla; a CNOT is applied from
+    every data qubit whose secret bit is 1 to the ancilla.
+    """
+    _require(num_qubits >= 2, "Bernstein-Vazirani needs at least two qubits")
+    data_qubits = num_qubits - 1
+    if secret is None:
+        secret = (1 << data_qubits) - 1
+    circuit = Circuit(num_qubits, name=f"bv_n{num_qubits}")
+    ancilla = num_qubits - 1
+    circuit.add_single("x", ancilla)
+    for qubit in range(num_qubits):
+        circuit.add_single("h", qubit)
+    for qubit in range(data_qubits):
+        if (secret >> qubit) & 1:
+            circuit.cx(qubit, ancilla)
+    for qubit in range(data_qubits):
+        circuit.add_single("h", qubit)
+    return circuit
+
+
+# ------------------------------------------------------------------- arithmetic
+def qft(num_qubits: int, with_swaps: bool = False) -> Circuit:
+    """Quantum Fourier transform (``QFT_10``, ``QFT_50``).
+
+    Controlled-phase gates are decomposed into two CNOTs and three RZ
+    rotations each, which matches the CNOT count Qiskit produces after
+    unrolling to the {CX, RZ, H} basis.
+    """
+    _require(num_qubits >= 1, "QFT needs at least one qubit")
+    circuit = Circuit(num_qubits, name=f"qft_n{num_qubits}")
+    for target in range(num_qubits):
+        circuit.add_single("h", target)
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            _controlled_phase(circuit, control, target, angle)
+    if with_swaps:
+        for qubit in range(num_qubits // 2):
+            _swap(circuit, qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def _controlled_phase(circuit: Circuit, control: int, target: int, angle: float) -> None:
+    circuit.add_single("rz", control, angle / 2)
+    circuit.cx(control, target)
+    circuit.add_single("rz", target, -angle / 2)
+    circuit.cx(control, target)
+    circuit.add_single("rz", target, angle / 2)
+
+
+def _swap(circuit: Circuit, a: int, b: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(b, a)
+    circuit.cx(a, b)
+
+
+def cuccaro_adder(num_qubits: int) -> Circuit:
+    """Ripple-carry (Cuccaro-style) adder on ``num_qubits`` qubits (``adder_n10``).
+
+    Uses one carry ancilla (qubit 0); the remaining qubits alternate between
+    the two addend registers.  Toffoli gates are decomposed into the standard
+    six-CNOT network.
+    """
+    _require(num_qubits >= 4, "adder needs at least four qubits")
+    circuit = Circuit(num_qubits, name=f"adder_n{num_qubits}")
+    width = (num_qubits - 2) // 2
+    a = [1 + 2 * i for i in range(width)]
+    b = [2 + 2 * i for i in range(width)]
+    carry_in = 0
+    carry_out = num_qubits - 1
+
+    def majority(c: int, bq: int, aq: int) -> None:
+        circuit.cx(aq, bq)
+        circuit.cx(aq, c)
+        _toffoli(circuit, c, bq, aq)
+
+    def unmajority(c: int, bq: int, aq: int) -> None:
+        _toffoli(circuit, c, bq, aq)
+        circuit.cx(aq, c)
+        circuit.cx(c, bq)
+
+    majority(carry_in, b[0], a[0])
+    for i in range(1, width):
+        majority(a[i - 1], b[i], a[i])
+    circuit.cx(a[width - 1], carry_out)
+    for i in range(width - 1, 0, -1):
+        unmajority(a[i - 1], b[i], a[i])
+    unmajority(carry_in, b[0], a[0])
+    return circuit
+
+
+def _toffoli(circuit: Circuit, control_a: int, control_b: int, target: int) -> None:
+    circuit.add_single("h", target)
+    circuit.cx(control_b, target)
+    circuit.add_single("tdg", target)
+    circuit.cx(control_a, target)
+    circuit.add_single("t", target)
+    circuit.cx(control_b, target)
+    circuit.add_single("tdg", target)
+    circuit.cx(control_a, target)
+    circuit.add_single("t", control_b)
+    circuit.add_single("t", target)
+    circuit.cx(control_a, control_b)
+    circuit.add_single("h", target)
+    circuit.add_single("t", control_a)
+    circuit.add_single("tdg", control_b)
+    circuit.cx(control_a, control_b)
+
+
+def multiplier(num_qubits: int) -> Circuit:
+    """Shift-and-add multiplier skeleton (``multiplier_n15``, ``multiplier_n25``).
+
+    Splits the qubits into two operand registers and a product register and
+    emits the controlled-adder CNOT/Toffoli structure of the QASMBench
+    multiplier benchmarks.
+    """
+    _require(num_qubits >= 6, "multiplier needs at least six qubits")
+    circuit = Circuit(num_qubits, name=f"multiplier_n{num_qubits}")
+    width = num_qubits // 3
+    reg_a = list(range(width))
+    reg_b = list(range(width, 2 * width))
+    reg_p = list(range(2 * width, num_qubits))
+    for i, a_qubit in enumerate(reg_a):
+        for j, b_qubit in enumerate(reg_b):
+            product_bit = reg_p[(i + j) % len(reg_p)]
+            _toffoli(circuit, a_qubit, b_qubit, product_bit)
+            if (i + j + 1) < len(reg_p):
+                carry_bit = reg_p[(i + j + 1) % len(reg_p)]
+                circuit.cx(product_bit, carry_bit)
+    return circuit
+
+
+def square_root(num_qubits: int, iterations: int | None = None) -> Circuit:
+    """Grover-style square-root circuit (``square_root_n4/n18``).
+
+    Alternates an oracle built from multi-controlled phase blocks with the
+    diffusion operator; both are decomposed to CNOT + single-qubit gates.
+    The number of iterations controls the depth, defaulting to a value that
+    reproduces the deep, mostly sequential structure of the QASMBench circuit.
+    """
+    _require(num_qubits >= 3, "square_root needs at least three qubits")
+    if iterations is None:
+        iterations = max(2, num_qubits)
+    circuit = Circuit(num_qubits, name=f"square_root_n{num_qubits}")
+    data = list(range(num_qubits - 1))
+    ancilla = num_qubits - 1
+    for qubit in data:
+        circuit.add_single("h", qubit)
+    for _ in range(iterations):
+        # Oracle: a CNOT ladder onto the ancilla plus phase kickback.
+        for qubit in data:
+            circuit.cx(qubit, ancilla)
+        circuit.add_single("z", ancilla)
+        for qubit in reversed(data):
+            circuit.cx(qubit, ancilla)
+        # Diffusion operator on the data register.
+        for qubit in data:
+            circuit.add_single("h", qubit)
+            circuit.add_single("x", qubit)
+        _multi_controlled_z(circuit, data)
+        for qubit in data:
+            circuit.add_single("x", qubit)
+            circuit.add_single("h", qubit)
+    return circuit
+
+
+def _multi_controlled_z(circuit: Circuit, qubits: list[int]) -> None:
+    """Linear-depth CZ ladder approximating a multi-controlled Z."""
+    if len(qubits) < 2:
+        if qubits:
+            circuit.add_single("z", qubits[0])
+        return
+    target = qubits[-1]
+    circuit.add_single("h", target)
+    for i in range(len(qubits) - 1):
+        circuit.cx(qubits[i], qubits[i + 1])
+    circuit.add_single("rz", target, math.pi / 4)
+    for i in range(len(qubits) - 2, -1, -1):
+        circuit.cx(qubits[i], qubits[i + 1])
+    circuit.add_single("h", target)
+
+
+# ----------------------------------------------------------------- variational
+def ising(num_qubits: int, layers: int | None = None) -> Circuit:
+    """Transverse-field Ising model Trotter circuit (``ising_n10``, ``ising_n50``).
+
+    Each Trotter step applies ZZ interactions between nearest neighbours
+    (two CNOTs and an RZ each), alternating between even and odd bonds so
+    that every layer contains ~n/2 parallel CNOT pairs — the high-parallelism
+    structure the paper highlights.
+    """
+    _require(num_qubits >= 2, "Ising circuit needs at least two qubits")
+    if layers is None:
+        layers = 1
+    circuit = Circuit(num_qubits, name=f"ising_n{num_qubits}")
+    for qubit in range(num_qubits):
+        circuit.add_single("h", qubit)
+    for step in range(layers):
+        for parity in (0, 1):
+            for qubit in range(parity, num_qubits - 1, 2):
+                circuit.cx(qubit, qubit + 1)
+                circuit.add_single("rz", qubit + 1, 0.35 + 0.01 * step)
+                circuit.cx(qubit, qubit + 1)
+        for qubit in range(num_qubits):
+            circuit.add_single("rx", qubit, 0.21)
+    return circuit
+
+
+def dnn(num_qubits: int, layers: int = 2) -> Circuit:
+    """Quantum deep-neural-network ansatz (``dnn_n8``, ``dnn_n16``), QuClassi-style.
+
+    Each layer applies parameterised single-qubit rotations followed by a
+    dense block of CNOTs pairing qubit ``i`` with ``i + n/2``; consecutive
+    layers shift the pairing.  This produces the very high parallelism the
+    paper's motivation section discusses (many independent CNOTs per layer).
+    """
+    _require(num_qubits >= 4 and num_qubits % 2 == 0, "dnn ansatz needs an even qubit count >= 4")
+    circuit = Circuit(num_qubits, name=f"dnn_n{num_qubits}")
+    half = num_qubits // 2
+    for layer in range(layers):
+        for qubit in range(num_qubits):
+            circuit.add_single("ry", qubit, 0.1 * (layer + 1))
+            circuit.add_single("rz", qubit, 0.2 * (layer + 1))
+        for offset in range(half):
+            for i in range(half):
+                control = i
+                target = half + ((i + offset) % half)
+                circuit.cx(control, target)
+            for qubit in range(num_qubits):
+                circuit.add_single("ry", qubit, 0.05)
+    return circuit
+
+
+def swap_test(num_qubits: int) -> Circuit:
+    """Swap-test circuit (``swap_test_n25``): one ancilla, two equal registers.
+
+    Controlled-SWAPs are decomposed into CNOT + Toffoli networks.
+    """
+    _require(num_qubits >= 3 and num_qubits % 2 == 1, "swap test needs an odd qubit count >= 3")
+    circuit = Circuit(num_qubits, name=f"swap_test_n{num_qubits}")
+    ancilla = 0
+    half = (num_qubits - 1) // 2
+    reg_a = list(range(1, 1 + half))
+    reg_b = list(range(1 + half, num_qubits))
+    circuit.add_single("h", ancilla)
+    for a_qubit, b_qubit in zip(reg_a, reg_b):
+        circuit.cx(b_qubit, a_qubit)
+        _toffoli(circuit, ancilla, a_qubit, b_qubit)
+        circuit.cx(b_qubit, a_qubit)
+    circuit.add_single("h", ancilla)
+    return circuit
+
+
+# -------------------------------------------------------------------- algorithms
+def qpe(num_qubits: int) -> Circuit:
+    """Quantum phase estimation (``qpe_n9``): controlled powers + inverse QFT."""
+    _require(num_qubits >= 3, "QPE needs at least three qubits")
+    counting = num_qubits - 1
+    target = num_qubits - 1
+    circuit = Circuit(num_qubits, name=f"qpe_n{num_qubits}")
+    for qubit in range(counting):
+        circuit.add_single("h", qubit)
+    circuit.add_single("x", target)
+    for qubit in range(counting):
+        # Controlled-U^(2^qubit) with U = phase rotation.
+        angle = math.pi / 4 * (2**qubit % 8)
+        _controlled_phase(circuit, qubit, target, angle)
+    # Inverse QFT on the counting register.
+    for qubit in range(counting // 2):
+        _swap(circuit, qubit, counting - 1 - qubit)
+    for target_qubit in range(counting - 1, -1, -1):
+        for control in range(counting - 1, target_qubit, -1):
+            angle = -math.pi / (2 ** (control - target_qubit))
+            _controlled_phase(circuit, control, target_qubit, angle)
+        circuit.add_single("h", target_qubit)
+    return circuit
+
+
+def grover(num_qubits: int, iterations: int | None = None) -> Circuit:
+    """Grover search (``grover_n9``-like) with a CNOT-ladder oracle."""
+    _require(num_qubits >= 3, "Grover needs at least three qubits")
+    data = list(range(num_qubits - 1))
+    ancilla = num_qubits - 1
+    if iterations is None:
+        iterations = max(1, int(round(math.pi / 4 * math.sqrt(2 ** len(data)) / len(data))) + 3)
+    circuit = Circuit(num_qubits, name=f"grover_n{num_qubits}")
+    circuit.add_single("x", ancilla)
+    circuit.add_single("h", ancilla)
+    for qubit in data:
+        circuit.add_single("h", qubit)
+    for _ in range(iterations):
+        for qubit in data:
+            circuit.cx(qubit, ancilla)
+        circuit.add_single("z", ancilla)
+        for qubit in reversed(data):
+            circuit.cx(qubit, ancilla)
+        for qubit in data:
+            circuit.add_single("h", qubit)
+            circuit.add_single("x", qubit)
+        _multi_controlled_z(circuit, data)
+        for qubit in data:
+            circuit.add_single("x", qubit)
+            circuit.add_single("h", qubit)
+    return circuit
+
+
+def sat(num_qubits: int, num_clauses: int | None = None) -> Circuit:
+    """SAT oracle circuit (``sat_n11``): clause ancillas driven by Toffoli ladders."""
+    _require(num_qubits >= 5, "SAT circuit needs at least five qubits")
+    variables = num_qubits // 2
+    clause_ancillas = num_qubits - variables
+    if num_clauses is None:
+        num_clauses = 3 * clause_ancillas
+    circuit = Circuit(num_qubits, name=f"sat_n{num_qubits}")
+    for qubit in range(variables):
+        circuit.add_single("h", qubit)
+    for clause in range(num_clauses):
+        a = clause % variables
+        b = (clause + 1) % variables
+        c = (clause + 2) % variables
+        ancilla = variables + clause % clause_ancillas
+        _toffoli(circuit, a, b, ancilla)
+        circuit.cx(c, ancilla)
+        _toffoli(circuit, a, b, ancilla)
+    return circuit
+
+
+def qf21(num_qubits: int = 15) -> Circuit:
+    """Order-finding circuit for factoring 21 (``qf21_n15``-like structure)."""
+    _require(num_qubits >= 8, "qf21 needs at least eight qubits")
+    counting = num_qubits // 2
+    work = num_qubits - counting
+    circuit = Circuit(num_qubits, name=f"qf21_n{num_qubits}")
+    for qubit in range(counting):
+        circuit.add_single("h", qubit)
+    circuit.add_single("x", counting)
+    for power in range(counting):
+        # Controlled modular multiplication sketch: a few controlled swaps
+        # across the work register per counting qubit.
+        for offset in range(min(work - 1, 3)):
+            a = counting + (power + offset) % work
+            b = counting + (power + offset + 1) % work
+            circuit.cx(power, a)
+            circuit.cx(a, b)
+            circuit.cx(power, a)
+    # Inverse QFT on the counting register.
+    for target_qubit in range(counting - 1, -1, -1):
+        for control in range(counting - 1, target_qubit, -1):
+            angle = -math.pi / (2 ** (control - target_qubit))
+            _controlled_phase(circuit, control, target_qubit, angle)
+        circuit.add_single("h", target_qubit)
+    return circuit
+
+
+def quantum_walk(num_qubits: int = 11, steps: int = 450) -> Circuit:
+    """Discrete-time quantum walk on a cycle (``quantum_walk`` row of Table I).
+
+    Each step applies a coin flip plus increment/decrement circuits built from
+    CNOT ladders; many steps produce the very deep, mostly sequential circuit
+    the paper reports (α in the tens of thousands).
+    """
+    _require(num_qubits >= 4, "quantum walk needs at least four qubits")
+    coin = num_qubits - 1
+    position = list(range(num_qubits - 1))
+    circuit = Circuit(num_qubits, name=f"quantum_walk_n{num_qubits}")
+    circuit.add_single("h", coin)
+    for _ in range(steps):
+        circuit.add_single("h", coin)
+        # Controlled increment: ripple of CNOTs controlled by the coin.
+        for i in range(len(position) - 1, 0, -1):
+            _toffoli(circuit, coin, position[i - 1], position[i])
+        circuit.cx(coin, position[0])
+        circuit.add_single("x", coin)
+        # Controlled decrement.
+        circuit.cx(coin, position[0])
+        for i in range(1, len(position)):
+            _toffoli(circuit, coin, position[i - 1], position[i])
+        circuit.add_single("x", coin)
+    return circuit
+
+
+def shor(num_qubits: int = 12, rounds: int = 340) -> Circuit:
+    """Shor-style modular exponentiation skeleton (``shor`` row of Table I).
+
+    Repeated controlled modular-addition blocks over a small work register;
+    the round count controls depth and is calibrated to land in the same
+    regime as the paper's benchmark (α ≈ 13k for 12 qubits).
+    """
+    _require(num_qubits >= 6, "shor skeleton needs at least six qubits")
+    counting = num_qubits // 2
+    work = list(range(counting, num_qubits))
+    circuit = Circuit(num_qubits, name=f"shor_n{num_qubits}")
+    for qubit in range(counting):
+        circuit.add_single("h", qubit)
+    for round_index in range(rounds):
+        control = round_index % counting
+        for i in range(len(work) - 1):
+            _toffoli(circuit, control, work[i], work[i + 1])
+        circuit.cx(control, work[0])
+        circuit.add_single("rz", work[-1], 0.1)
+    for target_qubit in range(counting - 1, -1, -1):
+        for control in range(counting - 1, target_qubit, -1):
+            angle = -math.pi / (2 ** (control - target_qubit))
+            _controlled_phase(circuit, control, target_qubit, angle)
+        circuit.add_single("h", target_qubit)
+    return circuit
+
+
+def multiply(num_qubits: int = 13) -> Circuit:
+    """Small multiply benchmark (``multiply_n13``) with a shallow Toffoli network."""
+    _require(num_qubits >= 7, "multiply needs at least seven qubits")
+    circuit = Circuit(num_qubits, name=f"multiply_n{num_qubits}")
+    third = num_qubits // 3
+    reg_a = list(range(third))
+    reg_b = list(range(third, 2 * third))
+    reg_p = list(range(2 * third, num_qubits))
+    for i in range(min(len(reg_a), len(reg_b), len(reg_p))):
+        _toffoli(circuit, reg_a[i], reg_b[i], reg_p[i % len(reg_p)])
+    for i in range(len(reg_p) - 1):
+        circuit.cx(reg_p[i], reg_p[i + 1])
+    return circuit

@@ -1,0 +1,33 @@
+"""OpenQASM 2.0 front-end.
+
+The paper compiles benchmark circuits exported from Qiskit / QASMBench; this
+package provides the equivalent front-end from scratch:
+
+* :func:`loads` / :func:`load` — parse OpenQASM 2.0 text / files into a
+  :class:`~repro.circuits.circuit.Circuit` flattened to CNOT + single-qubit
+  gates,
+* :func:`dumps` / :func:`dump` — serialise circuits back to OpenQASM 2.0,
+* :func:`parse_program` — access to the raw AST for tooling.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.qasm.expander import expand_program
+from repro.circuits.qasm.parser import parse_program
+from repro.circuits.qasm.writer import dump, dumps
+
+__all__ = ["loads", "load", "dumps", "dump", "parse_program"]
+
+
+def loads(source: str, include_conditional: bool = True, name: str = "qasm") -> Circuit:
+    """Parse OpenQASM 2.0 ``source`` text into a flattened circuit."""
+    return expand_program(parse_program(source), include_conditional=include_conditional, name=name)
+
+
+def load(path, include_conditional: bool = True, name: str | None = None) -> Circuit:
+    """Parse the OpenQASM 2.0 file at ``path`` into a flattened circuit."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    circuit_name = name if name is not None else str(path)
+    return loads(source, include_conditional=include_conditional, name=circuit_name)

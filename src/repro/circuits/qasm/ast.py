@@ -1,0 +1,227 @@
+"""Abstract syntax tree for the OpenQASM 2.0 subset.
+
+The parser produces a :class:`Program`; the expander lowers it onto a
+:class:`~repro.circuits.circuit.Circuit`.  Expression nodes carry enough
+structure to evaluate parameter arithmetic (``pi/2``, ``-3*pi/4`` ...) both at
+the top level and inside gate bodies where formal parameters are bound.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import QasmError
+
+
+# --------------------------------------------------------------------- expressions
+class Expr:
+    """Base class for parameter expressions."""
+
+    def evaluate(self, bindings: dict[str, float]) -> float:
+        """Evaluate to a float given formal-parameter ``bindings``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Number(Expr):
+    """A literal number."""
+
+    value: float
+
+    def evaluate(self, bindings: dict[str, float]) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Pi(Expr):
+    """The constant ``pi``."""
+
+    def evaluate(self, bindings: dict[str, float]) -> float:
+        return math.pi
+
+
+@dataclass(frozen=True)
+class Identifier(Expr):
+    """A reference to a gate formal parameter."""
+
+    name: str
+
+    def evaluate(self, bindings: dict[str, float]) -> float:
+        if self.name not in bindings:
+            raise QasmError(f"unbound parameter {self.name!r}")
+        return bindings[self.name]
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary negation."""
+
+    operator: str
+    operand: Expr
+
+    def evaluate(self, bindings: dict[str, float]) -> float:
+        value = self.operand.evaluate(bindings)
+        if self.operator == "-":
+            return -value
+        if self.operator == "+":
+            return value
+        raise QasmError(f"unknown unary operator {self.operator!r}")
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    """Binary arithmetic on parameter expressions."""
+
+    operator: str
+    left: Expr
+    right: Expr
+
+    def evaluate(self, bindings: dict[str, float]) -> float:
+        lhs = self.left.evaluate(bindings)
+        rhs = self.right.evaluate(bindings)
+        if self.operator == "+":
+            return lhs + rhs
+        if self.operator == "-":
+            return lhs - rhs
+        if self.operator == "*":
+            return lhs * rhs
+        if self.operator == "/":
+            if rhs == 0:
+                raise QasmError("division by zero in parameter expression")
+            return lhs / rhs
+        if self.operator == "^":
+            return lhs**rhs
+        raise QasmError(f"unknown binary operator {self.operator!r}")
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Call of a math builtin (sin, cos, tan, exp, ln, sqrt)."""
+
+    func: str
+    argument: Expr
+
+    _FUNCS = {
+        "sin": math.sin,
+        "cos": math.cos,
+        "tan": math.tan,
+        "exp": math.exp,
+        "ln": math.log,
+        "sqrt": math.sqrt,
+    }
+
+    def evaluate(self, bindings: dict[str, float]) -> float:
+        if self.func not in self._FUNCS:
+            raise QasmError(f"unknown function {self.func!r}")
+        return self._FUNCS[self.func](self.argument.evaluate(bindings))
+
+
+# ----------------------------------------------------------------------- operands
+@dataclass(frozen=True)
+class QubitRef:
+    """A reference to a whole register (``q``) or a single element (``q[3]``)."""
+
+    register: str
+    index: int | None = None
+
+    def is_whole_register(self) -> bool:
+        """True when no index was given (broadcast semantics)."""
+        return self.index is None
+
+
+# --------------------------------------------------------------------- statements
+class Statement:
+    """Base class for program statements."""
+
+
+@dataclass(frozen=True)
+class Include(Statement):
+    """``include "qelib1.inc";`` — the standard library include."""
+
+    filename: str
+
+
+@dataclass(frozen=True)
+class RegisterDecl(Statement):
+    """``qreg q[5];`` or ``creg c[5];``."""
+
+    kind: str  # "qreg" | "creg"
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class GateCall(Statement):
+    """Application of a named gate to operands, e.g. ``cx q[0], q[1];``."""
+
+    name: str
+    params: tuple[Expr, ...]
+    qubits: tuple[QubitRef, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class Measure(Statement):
+    """``measure q[0] -> c[0];``."""
+
+    qubit: QubitRef
+    target: QubitRef
+
+
+@dataclass(frozen=True)
+class Reset(Statement):
+    """``reset q[0];``."""
+
+    qubit: QubitRef
+
+
+@dataclass(frozen=True)
+class Barrier(Statement):
+    """``barrier q;``."""
+
+    qubits: tuple[QubitRef, ...]
+
+
+@dataclass(frozen=True)
+class Conditional(Statement):
+    """``if (c == 1) <gate call>;`` — retained so the expander can decide policy."""
+
+    register: str
+    value: int
+    body: Statement
+
+
+@dataclass(frozen=True)
+class GateDefinition(Statement):
+    """A ``gate`` block defining a composite gate in terms of others."""
+
+    name: str
+    params: tuple[str, ...]
+    qubits: tuple[str, ...]
+    body: tuple[GateCall, ...]
+
+
+@dataclass(frozen=True)
+class OpaqueDeclaration(Statement):
+    """An ``opaque`` gate declaration (no body)."""
+
+    name: str
+    params: tuple[str, ...]
+    qubits: tuple[str, ...]
+
+
+@dataclass
+class Program:
+    """A parsed OpenQASM 2.0 program."""
+
+    version: str = "2.0"
+    statements: list[Statement] = field(default_factory=list)
+
+    def quantum_registers(self) -> list[RegisterDecl]:
+        """All ``qreg`` declarations in order."""
+        return [s for s in self.statements if isinstance(s, RegisterDecl) and s.kind == "qreg"]
+
+    def gate_definitions(self) -> dict[str, GateDefinition]:
+        """Custom gate definitions by name."""
+        return {s.name: s for s in self.statements if isinstance(s, GateDefinition)}

@@ -1,0 +1,277 @@
+"""Recursive-descent parser for the OpenQASM 2.0 subset.
+
+The grammar follows the OpenQASM 2.0 specification closely enough to parse
+the benchmark suites the paper uses (Qiskit-exported circuits, QASMBench):
+
+* header (``OPENQASM 2.0;``, ``include``),
+* register declarations,
+* ``gate`` definitions with parameters,
+* gate applications with expression parameters and register broadcasting,
+* ``measure``, ``reset``, ``barrier`` and ``if (creg == n)`` conditionals.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.qasm import ast
+from repro.circuits.qasm.tokens import Token, TokenType, tokenize
+from repro.errors import QasmError
+
+
+class Parser:
+    """Parses a token stream into an :class:`~repro.circuits.qasm.ast.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ----------------------------------------------------------------- helpers
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, token_type: TokenType, value: str | None = None) -> bool:
+        token = self._peek()
+        if token.type is not token_type:
+            return False
+        return value is None or token.value == value
+
+    def _expect(self, token_type: TokenType, value: str | None = None) -> Token:
+        token = self._peek()
+        if not self._check(token_type, value):
+            expected = value if value is not None else token_type.name
+            raise QasmError(
+                f"expected {expected!r} but found {token.value!r}", line=token.line, column=token.column
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> QasmError:
+        token = self._peek()
+        return QasmError(message, line=token.line, column=token.column)
+
+    # ------------------------------------------------------------------- parse
+    def parse(self) -> ast.Program:
+        """Parse the whole token stream into a program."""
+        program = ast.Program()
+        if self._check(TokenType.KEYWORD, "OPENQASM"):
+            self._advance()
+            version = self._expect(TokenType.REAL).value
+            self._expect(TokenType.SEMICOLON)
+            program.version = version
+        while not self._check(TokenType.EOF):
+            program.statements.append(self._parse_statement())
+        return program
+
+    def _parse_statement(self) -> ast.Statement:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD:
+            if token.value == "include":
+                return self._parse_include()
+            if token.value in ("qreg", "creg"):
+                return self._parse_register()
+            if token.value == "gate":
+                return self._parse_gate_definition()
+            if token.value == "opaque":
+                return self._parse_opaque()
+            if token.value == "measure":
+                return self._parse_measure()
+            if token.value == "reset":
+                return self._parse_reset()
+            if token.value == "barrier":
+                return self._parse_barrier()
+            if token.value == "if":
+                return self._parse_conditional()
+        if token.type is TokenType.ID:
+            return self._parse_gate_call()
+        raise self._error(f"unexpected token {token.value!r}")
+
+    def _parse_include(self) -> ast.Include:
+        self._expect(TokenType.KEYWORD, "include")
+        filename = self._expect(TokenType.STRING).value
+        self._expect(TokenType.SEMICOLON)
+        return ast.Include(filename)
+
+    def _parse_register(self) -> ast.RegisterDecl:
+        kind = self._advance().value
+        name = self._expect(TokenType.ID).value
+        self._expect(TokenType.LBRACKET)
+        size_token = self._expect(TokenType.INT)
+        self._expect(TokenType.RBRACKET)
+        self._expect(TokenType.SEMICOLON)
+        size = int(size_token.value)
+        if size <= 0:
+            raise QasmError(f"register {name!r} must have positive size", line=size_token.line)
+        return ast.RegisterDecl(kind, name, size)
+
+    def _parse_gate_definition(self) -> ast.GateDefinition:
+        self._expect(TokenType.KEYWORD, "gate")
+        name = self._expect(TokenType.ID).value
+        params: list[str] = []
+        if self._check(TokenType.LPAREN):
+            self._advance()
+            if not self._check(TokenType.RPAREN):
+                params.append(self._expect(TokenType.ID).value)
+                while self._check(TokenType.COMMA):
+                    self._advance()
+                    params.append(self._expect(TokenType.ID).value)
+            self._expect(TokenType.RPAREN)
+        qubits = [self._expect(TokenType.ID).value]
+        while self._check(TokenType.COMMA):
+            self._advance()
+            qubits.append(self._expect(TokenType.ID).value)
+        self._expect(TokenType.LBRACE)
+        body: list[ast.GateCall] = []
+        while not self._check(TokenType.RBRACE):
+            if self._check(TokenType.KEYWORD, "barrier"):
+                # Barriers inside gate bodies carry no scheduling meaning here.
+                self._parse_barrier()
+                continue
+            statement = self._parse_gate_call()
+            body.append(statement)
+        self._expect(TokenType.RBRACE)
+        return ast.GateDefinition(name, tuple(params), tuple(qubits), tuple(body))
+
+    def _parse_opaque(self) -> ast.OpaqueDeclaration:
+        self._expect(TokenType.KEYWORD, "opaque")
+        name = self._expect(TokenType.ID).value
+        params: list[str] = []
+        if self._check(TokenType.LPAREN):
+            self._advance()
+            if not self._check(TokenType.RPAREN):
+                params.append(self._expect(TokenType.ID).value)
+                while self._check(TokenType.COMMA):
+                    self._advance()
+                    params.append(self._expect(TokenType.ID).value)
+            self._expect(TokenType.RPAREN)
+        qubits = [self._expect(TokenType.ID).value]
+        while self._check(TokenType.COMMA):
+            self._advance()
+            qubits.append(self._expect(TokenType.ID).value)
+        self._expect(TokenType.SEMICOLON)
+        return ast.OpaqueDeclaration(name, tuple(params), tuple(qubits))
+
+    def _parse_measure(self) -> ast.Measure:
+        self._expect(TokenType.KEYWORD, "measure")
+        qubit = self._parse_qubit_ref()
+        self._expect(TokenType.ARROW)
+        target = self._parse_qubit_ref()
+        self._expect(TokenType.SEMICOLON)
+        return ast.Measure(qubit, target)
+
+    def _parse_reset(self) -> ast.Reset:
+        self._expect(TokenType.KEYWORD, "reset")
+        qubit = self._parse_qubit_ref()
+        self._expect(TokenType.SEMICOLON)
+        return ast.Reset(qubit)
+
+    def _parse_barrier(self) -> ast.Barrier:
+        self._expect(TokenType.KEYWORD, "barrier")
+        qubits = [self._parse_qubit_ref()]
+        while self._check(TokenType.COMMA):
+            self._advance()
+            qubits.append(self._parse_qubit_ref())
+        self._expect(TokenType.SEMICOLON)
+        return ast.Barrier(tuple(qubits))
+
+    def _parse_conditional(self) -> ast.Conditional:
+        self._expect(TokenType.KEYWORD, "if")
+        self._expect(TokenType.LPAREN)
+        register = self._expect(TokenType.ID).value
+        self._expect(TokenType.EQUALS)
+        value = int(self._expect(TokenType.INT).value)
+        self._expect(TokenType.RPAREN)
+        body = self._parse_statement()
+        return ast.Conditional(register, value, body)
+
+    def _parse_gate_call(self) -> ast.GateCall:
+        name_token = self._expect(TokenType.ID)
+        params: list[ast.Expr] = []
+        if self._check(TokenType.LPAREN):
+            self._advance()
+            if not self._check(TokenType.RPAREN):
+                params.append(self._parse_expression())
+                while self._check(TokenType.COMMA):
+                    self._advance()
+                    params.append(self._parse_expression())
+            self._expect(TokenType.RPAREN)
+        qubits = [self._parse_qubit_ref()]
+        while self._check(TokenType.COMMA):
+            self._advance()
+            qubits.append(self._parse_qubit_ref())
+        self._expect(TokenType.SEMICOLON)
+        return ast.GateCall(name_token.value.lower(), tuple(params), tuple(qubits), line=name_token.line)
+
+    def _parse_qubit_ref(self) -> ast.QubitRef:
+        name = self._expect(TokenType.ID).value
+        index: int | None = None
+        if self._check(TokenType.LBRACKET):
+            self._advance()
+            index = int(self._expect(TokenType.INT).value)
+            self._expect(TokenType.RBRACKET)
+        return ast.QubitRef(name, index)
+
+    # -------------------------------------------------------------- expressions
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_additive()
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while self._check(TokenType.PLUS) or self._check(TokenType.MINUS):
+            operator = self._advance().value
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(operator, left, right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self._check(TokenType.STAR) or self._check(TokenType.SLASH):
+            operator = self._advance().value
+            right = self._parse_unary()
+            left = ast.BinaryOp(operator, left, right)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._check(TokenType.MINUS) or self._check(TokenType.PLUS):
+            operator = self._advance().value
+            return ast.UnaryOp(operator, self._parse_unary())
+        return self._parse_power()
+
+    def _parse_power(self) -> ast.Expr:
+        base = self._parse_atom()
+        if self._check(TokenType.CARET):
+            self._advance()
+            exponent = self._parse_unary()
+            return ast.BinaryOp("^", base, exponent)
+        return base
+
+    def _parse_atom(self) -> ast.Expr:
+        token = self._peek()
+        if token.type is TokenType.KEYWORD and token.value == "pi":
+            self._advance()
+            return ast.Pi()
+        if token.type in (TokenType.REAL, TokenType.INT):
+            self._advance()
+            return ast.Number(float(token.value))
+        if token.type is TokenType.ID:
+            self._advance()
+            if self._check(TokenType.LPAREN):
+                self._advance()
+                argument = self._parse_expression()
+                self._expect(TokenType.RPAREN)
+                return ast.Call(token.value, argument)
+            return ast.Identifier(token.value)
+        if token.type is TokenType.LPAREN:
+            self._advance()
+            inner = self._parse_expression()
+            self._expect(TokenType.RPAREN)
+            return inner
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse OpenQASM 2.0 ``source`` text into an AST program."""
+    return Parser(tokenize(source)).parse()

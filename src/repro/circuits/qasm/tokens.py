@@ -1,0 +1,178 @@
+"""Lexer for the OpenQASM 2.0 subset understood by the front-end.
+
+The token stream is deliberately small: identifiers, numbers, strings, the
+OpenQASM keywords, and punctuation.  Comments (``//``) and whitespace are
+skipped.  Positions are tracked so parse errors point at the offending source
+line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import QasmError
+
+
+class TokenType(enum.Enum):
+    """Lexical categories of OpenQASM 2.0 tokens."""
+
+    ID = "id"
+    REAL = "real"
+    INT = "int"
+    STRING = "string"
+    KEYWORD = "keyword"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LBRACE = "{"
+    RBRACE = "}"
+    SEMICOLON = ";"
+    COMMA = ","
+    ARROW = "->"
+    EQUALS = "=="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    CARET = "^"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "OPENQASM", "include", "qreg", "creg", "gate", "opaque",
+        "measure", "reset", "barrier", "if", "pi",
+    }
+)
+
+_SINGLE_CHAR_TOKENS = {
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "{": TokenType.LBRACE,
+    "}": TokenType.RBRACE,
+    ";": TokenType.SEMICOLON,
+    ",": TokenType.COMMA,
+    "+": TokenType.PLUS,
+    "*": TokenType.STAR,
+    "/": TokenType.SLASH,
+    "^": TokenType.CARET,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.type.name}({self.value!r})@{self.line}:{self.column}"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize OpenQASM 2.0 ``source`` into a list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+
+    def error(message: str) -> QasmError:
+        return QasmError(message, line=line, column=column)
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "/" and i + 1 < n and source[i + 1] == "/":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_column = column
+        if ch == "-":
+            if i + 1 < n and source[i + 1] == ">":
+                tokens.append(Token(TokenType.ARROW, "->", line, start_column))
+                i += 2
+                column += 2
+                continue
+            tokens.append(Token(TokenType.MINUS, "-", line, start_column))
+            i += 1
+            column += 1
+            continue
+        if ch == "=":
+            if i + 1 < n and source[i + 1] == "=":
+                tokens.append(Token(TokenType.EQUALS, "==", line, start_column))
+                i += 2
+                column += 2
+                continue
+            raise error("single '=' is not valid OpenQASM; did you mean '=='?")
+        if ch in _SINGLE_CHAR_TOKENS:
+            tokens.append(Token(_SINGLE_CHAR_TOKENS[ch], ch, line, start_column))
+            i += 1
+            column += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            value = source[i + 1 : j]
+            tokens.append(Token(TokenType.STRING, value, line, start_column))
+            column += j - i + 1
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = source[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                else:
+                    break
+            value = source[i:j]
+            token_type = TokenType.REAL if (seen_dot or seen_exp) else TokenType.INT
+            tokens.append(Token(token_type, value, line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            value = source[i:j]
+            token_type = TokenType.KEYWORD if value in KEYWORDS else TokenType.ID
+            tokens.append(Token(token_type, value, line, start_column))
+            column += j - i
+            i = j
+            continue
+        raise error(f"unexpected character {ch!r}")
+
+    tokens.append(Token(TokenType.EOF, "", line, column))
+    return tokens

@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``profile``
+    Print circuit statistics (qubits, CNOTs, depth, parallelism degree) for a
+    QASM file or a named built-in benchmark.
+``compile``
+    Run the Ecmas pipeline (or a baseline) and print the schedule summary,
+    optionally with the placement and a cycle timeline.
+``table``
+    Regenerate one of the paper's tables (1-5) on the standard suites.
+``suite``
+    List the built-in benchmark circuits and their statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.chip.geometry import SurfaceCodeModel
+from repro.circuits import qasm
+from repro.circuits.circuit import Circuit
+from repro.circuits.generators import default_suite, get_benchmark
+from repro.core import circuit_parallelism_degree, compile_circuit
+from repro.errors import ReproError
+from repro.eval import (
+    compile_with_method,
+    format_table,
+    table1_overview,
+    table2_location,
+    table3_cut_initialisation,
+    table4_gate_scheduling,
+    table5_cut_scheduling,
+)
+from repro.verify import validate_encoded_circuit
+from repro import viz
+
+_MODELS = {
+    "dd": SurfaceCodeModel.DOUBLE_DEFECT,
+    "double-defect": SurfaceCodeModel.DOUBLE_DEFECT,
+    "ls": SurfaceCodeModel.LATTICE_SURGERY,
+    "lattice-surgery": SurfaceCodeModel.LATTICE_SURGERY,
+}
+
+_TABLES = {
+    "1": (table1_overview, "Table I — Overview of experiment results"),
+    "2": (table2_location, "Table II — Location initialisation"),
+    "3": (table3_cut_initialisation, "Table III — Cut-type initialisation"),
+    "4": (table4_gate_scheduling, "Table IV — Gate scheduling"),
+    "5": (table5_cut_scheduling, "Table V — Cut-type scheduling"),
+}
+
+
+def _load_circuit(spec: str) -> Circuit:
+    """Load a circuit from a QASM path or a built-in benchmark name."""
+    if spec.endswith(".qasm"):
+        return qasm.load(spec)
+    return get_benchmark(spec).build()
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    print(f"circuit        : {circuit.name}")
+    print(f"logical qubits : {circuit.num_qubits}")
+    print(f"total gates    : {len(circuit)}")
+    print(f"CNOT gates (g) : {circuit.num_cnots}")
+    print(f"CNOT depth (α) : {circuit.depth()}")
+    print(f"parallelism PM : {circuit_parallelism_degree(circuit)}")
+    return 0
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args.circuit)
+    model = _MODELS[args.model]
+    if args.method == "ecmas":
+        encoded = compile_circuit(circuit, model=model, resources=args.resources, scheduler=args.scheduler)
+    else:
+        encoded = compile_with_method(circuit, args.method)
+    report = validate_encoded_circuit(circuit, encoded)
+    print(f"method          : {encoded.method}")
+    print(f"chip            : {encoded.chip.describe()}")
+    print(f"cycles          : {encoded.num_cycles}")
+    print(f"CNOTs scheduled : {encoded.num_cnots}")
+    print(f"cut operations  : {encoded.num_cut_modifications}")
+    print(f"compile time    : {encoded.compile_seconds * 1000:.1f} ms")
+    print(f"schedule valid  : {report.valid}")
+    if not report.valid:
+        for error in report.errors[:5]:
+            print(f"  error: {error}")
+    if args.show_placement:
+        print()
+        print(viz.render_placement(encoded.chip, encoded.placement))
+    if args.timeline:
+        print()
+        print(viz.render_schedule_timeline(encoded, max_cycles=args.timeline))
+    if args.gantt:
+        print()
+        print(viz.render_gantt(encoded))
+    return 0 if report.valid else 1
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    builder, title = _TABLES[args.number]
+    rows = builder()
+    print(format_table(rows, title=title))
+    return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in default_suite(include_large=args.large):
+        circuit = spec.build()
+        rows.append(
+            {
+                "name": spec.name,
+                "qubits": circuit.num_qubits,
+                "alpha": circuit.depth(),
+                "cnots": circuit.num_cnots,
+                "paper_alpha": spec.paper_alpha,
+                "paper_g": spec.paper_g,
+            }
+        )
+    print(format_table(rows, title="Built-in benchmark suite"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ecmas surface-code mapping and scheduling (CGO 2024 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="print circuit statistics")
+    profile.add_argument("circuit", help="QASM file path or built-in benchmark name (e.g. qft_n10)")
+    profile.set_defaults(func=_cmd_profile)
+
+    compile_cmd = sub.add_parser("compile", help="compile a circuit and summarise the schedule")
+    compile_cmd.add_argument("circuit", help="QASM file path or built-in benchmark name")
+    compile_cmd.add_argument("--model", choices=sorted(_MODELS), default="dd")
+    compile_cmd.add_argument("--resources", choices=["minimum", "4x", "sufficient"], default="minimum")
+    compile_cmd.add_argument("--scheduler", choices=["auto", "limited", "resu"], default="auto")
+    compile_cmd.add_argument(
+        "--method",
+        default="ecmas",
+        help="'ecmas' (default) or an evaluation method name such as autobraid / edpci_min",
+    )
+    compile_cmd.add_argument("--show-placement", action="store_true", help="render the tile placement")
+    compile_cmd.add_argument("--timeline", type=int, metavar="N", help="print the first N cycles")
+    compile_cmd.add_argument("--gantt", action="store_true", help="print a per-qubit occupancy chart")
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    table = sub.add_parser("table", help="regenerate one of the paper's tables")
+    table.add_argument("number", choices=sorted(_TABLES), help="table number (1-5)")
+    table.set_defaults(func=_cmd_table)
+
+    suite = sub.add_parser("suite", help="list the built-in benchmark circuits")
+    suite.add_argument("--large", action="store_true", help="include the very large circuits")
+    suite.set_defaults(func=_cmd_suite)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Top-level Ecmas API.
+
+:func:`compile_circuit` is the one-call entry point: give it a circuit, a
+surface-code model and (optionally) a chip, and it runs the full Ecmas
+pipeline — pre-processing (profiling, chip analysis), initial mapping (shape,
+placement, bandwidth adjusting, cut-type initialisation) and scheduling
+(Algorithm 1 for limited resources or Algorithm 2 / Ecmas-ReSu for sufficient
+resources) — returning an :class:`~repro.core.schedule.EncodedCircuit`.
+
+Example
+-------
+>>> from repro import compile_circuit, SurfaceCodeModel
+>>> from repro.circuits.generators import standard
+>>> circuit = standard.qft(8)
+>>> encoded = compile_circuit(circuit, model=SurfaceCodeModel.DOUBLE_DEFECT)
+>>> encoded.num_cycles > 0
+True
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.chip.chip import Chip
+from repro.chip.geometry import SurfaceCodeModel
+from repro.circuits.circuit import Circuit
+from repro.core.cut_decisions import get_strategy
+from repro.core.cut_types import (
+    CutAssignment,
+    bipartite_prefix_cut_types,
+    maxcut_cut_types,
+    random_cut_types,
+    uniform_cut_types,
+)
+from repro.core.mapping import InitialMapping, build_initial_mapping
+from repro.core.metrics import chip_communication_capacity, circuit_parallelism_degree
+from repro.core.priorities import circuit_order_priority, criticality_priority, descendant_priority
+from repro.core.resu import schedule_resu_double_defect, schedule_resu_lattice_surgery
+from repro.core.schedule import EncodedCircuit
+from repro.core.scheduler_dd import DoubleDefectScheduler
+from repro.core.scheduler_ls import LatticeSurgeryScheduler
+from repro.errors import SchedulingError
+
+_PRIORITIES = {
+    "criticality": criticality_priority,
+    "circuit_order": circuit_order_priority,
+    "descendants": descendant_priority,
+}
+
+#: Default code distance used throughout the evaluation (the cycle counts the
+#: paper reports are independent of d, which only scales the wall-clock time).
+DEFAULT_CODE_DISTANCE = 3
+
+
+@dataclass
+class EcmasOptions:
+    """Tuning knobs of the Ecmas pipeline (all default to the paper's choices)."""
+
+    placement_strategy: str = "ecmas"
+    placement_attempts: int = 4
+    adjust_bandwidth: bool = True
+    cut_initialisation: str = "bipartite_prefix"
+    cut_strategy: str = "adaptive"
+    priority: str = "criticality"
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+def _initial_cut_types(circuit: Circuit, options: EcmasOptions) -> CutAssignment:
+    name = options.cut_initialisation
+    if name == "bipartite_prefix":
+        return bipartite_prefix_cut_types(circuit.dag(), circuit.num_qubits)
+    if name == "random":
+        return random_cut_types(circuit.num_qubits, seed=options.seed)
+    if name == "maxcut":
+        return maxcut_cut_types(circuit.communication_graph(), seed=options.seed)
+    if name == "uniform":
+        return uniform_cut_types(circuit.num_qubits)
+    raise SchedulingError(f"unknown cut initialisation {name!r}")
+
+
+def default_chip(
+    circuit: Circuit,
+    model: SurfaceCodeModel,
+    resources: str = "minimum",
+    code_distance: int = DEFAULT_CODE_DISTANCE,
+) -> Chip:
+    """Build the chip for one of the paper's resource configurations.
+
+    ``resources`` is one of ``"minimum"`` (minimum viable chip), ``"4x"``
+    (four times the physical qubits) or ``"sufficient"`` (capacity covers the
+    circuit parallelism degree, the Ecmas-ReSu setting).
+    """
+    if resources == "minimum":
+        return Chip.minimum_viable(model, circuit.num_qubits, code_distance)
+    if resources == "4x":
+        return Chip.four_x(model, circuit.num_qubits, code_distance)
+    if resources == "sufficient":
+        parallelism = max(1, circuit_parallelism_degree(circuit))
+        return Chip.sufficient(model, circuit.num_qubits, code_distance, parallelism)
+    raise SchedulingError(f"unknown resource configuration {resources!r}")
+
+
+def prepare_mapping(
+    circuit: Circuit,
+    chip: Chip,
+    model: SurfaceCodeModel,
+    options: EcmasOptions | None = None,
+) -> InitialMapping:
+    """Run only the pre-processing / initial-mapping stage."""
+    options = options or EcmasOptions()
+    cut_types = (
+        _initial_cut_types(circuit, options) if model is SurfaceCodeModel.DOUBLE_DEFECT else None
+    )
+    return build_initial_mapping(
+        circuit,
+        chip,
+        cut_types,
+        placement_strategy=options.placement_strategy,
+        adjust=options.adjust_bandwidth,
+        attempts=options.placement_attempts,
+        seed=options.seed,
+    )
+
+
+def compile_circuit(
+    circuit: Circuit,
+    model: SurfaceCodeModel = SurfaceCodeModel.DOUBLE_DEFECT,
+    chip: Chip | None = None,
+    resources: str = "minimum",
+    scheduler: str = "auto",
+    code_distance: int = DEFAULT_CODE_DISTANCE,
+    options: EcmasOptions | None = None,
+) -> EncodedCircuit:
+    """Compile ``circuit`` into a surface-code encoded circuit with Ecmas.
+
+    Parameters
+    ----------
+    circuit:
+        The logical circuit; only its CNOT gates constrain the schedule.
+    model:
+        Double defect or lattice surgery.
+    chip:
+        Target chip.  When omitted, the chip for ``resources`` is built.
+    resources:
+        ``"minimum"``, ``"4x"`` or ``"sufficient"`` — ignored when ``chip`` is
+        given explicitly.
+    scheduler:
+        ``"auto"`` picks Ecmas-ReSu when the chip capacity covers the circuit
+        parallelism degree and Algorithm 1 otherwise; ``"limited"`` forces
+        Algorithm 1 and ``"resu"`` forces Algorithm 2.
+    options:
+        Pipeline tuning knobs; defaults reproduce the paper's configuration.
+    """
+    options = options or EcmasOptions()
+    if chip is None:
+        chip = default_chip(circuit, model, resources=resources, code_distance=code_distance)
+    started = time.perf_counter()
+    mapping = prepare_mapping(circuit, chip, model, options)
+
+    if scheduler == "auto":
+        parallelism = circuit_parallelism_degree(circuit)
+        use_resu = chip_communication_capacity(mapping.chip) >= parallelism
+    elif scheduler == "resu":
+        use_resu = True
+    elif scheduler == "limited":
+        use_resu = False
+    else:
+        raise SchedulingError(f"unknown scheduler {scheduler!r}")
+
+    priority = _PRIORITIES.get(options.priority)
+    if priority is None:
+        raise SchedulingError(f"unknown priority {options.priority!r}")
+
+    if model is SurfaceCodeModel.DOUBLE_DEFECT:
+        if use_resu:
+            encoded = schedule_resu_double_defect(circuit, mapping)
+        else:
+            encoded = DoubleDefectScheduler(
+                circuit,
+                mapping,
+                priority=priority,
+                cut_strategy=get_strategy(options.cut_strategy),
+            ).run()
+    else:
+        if use_resu:
+            encoded = schedule_resu_lattice_surgery(circuit, mapping)
+        else:
+            encoded = LatticeSurgeryScheduler(circuit, mapping, priority=priority).run()
+    encoded.compile_seconds = time.perf_counter() - started
+    return encoded

@@ -1,0 +1,200 @@
+"""Initial mapping: tile-array shape, qubit placement, bandwidth adjusting.
+
+This implements the three pre-processing steps of Ecmas (Section IV-B1):
+
+1. **Shape determining** — choose the logical tile array shape (e.g. 3×3 vs
+   2×4 for eight qubits) with the smallest perimeter that fits on the chip.
+2. **Mapping establishing** — map qubits to tiles so that heavily
+   communicating qubits are close, by recursive Kernighan–Lin bisection of
+   the communication graph (the METIS substitute); several seeded attempts
+   are generated and the one with the smallest communication cost
+   ``f = Σ γ_ij · l_ij`` is kept.
+3. **Bandwidth adjusting** — pre-route every CNOT along its unconstrained
+   shortest path, attribute the load to corridors, and hand the chip's spare
+   lanes to the most loaded corridors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chip.chip import Chip, TileSlot
+from repro.chip.routing_graph import RoutingGraph, tile_node_for
+from repro.circuits.circuit import Circuit
+from repro.circuits.comm_graph import CommunicationGraph
+from repro.core.cut_types import CutAssignment
+from repro.errors import MappingError
+from repro.partition.placement import (
+    Placement,
+    best_placement,
+    communication_cost,
+    random_placement,
+    spectral_placement,
+    trivial_snake_placement,
+)
+from repro.routing.paths import CapacityUsage
+from repro.routing.router import find_path
+
+
+@dataclass(frozen=True)
+class InitialMapping:
+    """The output of the pre-processing stage.
+
+    ``chip`` may differ from the input chip in its corridor bandwidths (the
+    bandwidth-adjusting step); the tile array itself never changes.
+    """
+
+    chip: Chip
+    placement: Placement
+    cut_types: CutAssignment | None
+    shape: tuple[int, int]
+    mapping_cost: float
+
+
+def determine_shape(num_qubits: int, chip: Chip) -> tuple[int, int]:
+    """Choose the tile-array shape with minimum perimeter that fits the chip.
+
+    Among shapes ``r × c`` with ``r*c >= num_qubits`` that fit inside the
+    chip's tile array, the one minimising the perimeter ``2(r+c)`` is chosen;
+    ties prefer the squarer shape (paper Fig. 10a picks 3×3 over 2×4).
+    """
+    if num_qubits > chip.num_tile_slots:
+        raise MappingError(
+            f"chip has {chip.num_tile_slots} tile slots but the circuit needs {num_qubits}"
+        )
+    best: tuple[int, int] | None = None
+    best_key: tuple[int, int, int] | None = None
+    for rows in range(1, chip.tile_rows + 1):
+        cols = -(-num_qubits // rows)  # ceil division
+        if cols > chip.tile_cols:
+            continue
+        key = (rows + cols, abs(rows - cols), rows * cols)
+        if best_key is None or key < best_key:
+            best, best_key = (rows, cols), key
+    if best is None:
+        raise MappingError("no tile-array shape fits the chip")  # pragma: no cover
+    return best
+
+
+def establish_placement(
+    graph: CommunicationGraph,
+    shape: tuple[int, int],
+    strategy: str = "ecmas",
+    attempts: int = 4,
+    seed: int = 0,
+) -> Placement:
+    """Map qubits to tile slots within ``shape`` using the requested strategy.
+
+    Strategies: ``"ecmas"`` (multi-attempt recursive bisection, the default),
+    ``"metis"`` (single-attempt recursive bisection, the Table II "Metis"
+    column), ``"trivial"`` (EDPCI snake), ``"spectral"``, ``"random"``.
+    """
+    rows, cols = shape
+    if strategy == "ecmas":
+        return best_placement(graph, rows, cols, attempts=attempts, seed=seed)
+    if strategy == "metis":
+        return best_placement(graph, rows, cols, attempts=1, seed=seed)
+    if strategy == "trivial":
+        return trivial_snake_placement(graph.num_qubits, rows, cols)
+    if strategy == "spectral":
+        return spectral_placement(graph, rows, cols)
+    if strategy == "random":
+        return random_placement(graph.num_qubits, rows, cols, seed=seed)
+    raise MappingError(f"unknown placement strategy {strategy!r}")
+
+
+def corridor_load(
+    chip: Chip,
+    placement: Placement,
+    graph: CommunicationGraph,
+) -> tuple[dict[int, float], dict[int, float]]:
+    """Pre-route every CNOT (ignoring conflicts) and accumulate corridor load.
+
+    Returns per-corridor load for horizontal and vertical corridors.  The
+    load of an edge's corridor increases by the CNOT multiplicity of the pair
+    whose unconstrained shortest path uses that edge.
+    """
+    routing_graph = RoutingGraph(chip)
+    h_load: dict[int, float] = {r: 0.0 for r in range(chip.tile_rows + 1)}
+    v_load: dict[int, float] = {c: 0.0 for c in range(chip.tile_cols + 1)}
+    empty = CapacityUsage()
+    for a, b, weight in graph.edges():
+        path = find_path(routing_graph, empty, tile_node_for(placement.slot_of(a)), tile_node_for(placement.slot_of(b)))
+        if path is None:  # pragma: no cover - the corridor grid is connected
+            continue
+        for edge_a, edge_b in zip(path.nodes, path.nodes[1:]):
+            corridor = routing_graph.corridor_of(edge_a, edge_b)
+            if corridor is None:
+                continue
+            kind, index = corridor
+            if kind == "h":
+                h_load[index] += weight
+            else:
+                v_load[index] += weight
+    return h_load, v_load
+
+
+def adjust_bandwidth(chip: Chip, placement: Placement, graph: CommunicationGraph) -> Chip:
+    """Redistribute spare lanes towards the most loaded corridors.
+
+    The chip's per-axis lane budget is respected; every corridor keeps at
+    least one lane.  On the minimum viable chip there is no spare budget and
+    the chip is returned unchanged.
+    """
+    h_budget, v_budget = chip.lane_budget_per_axis()
+    h_spare = h_budget - (chip.tile_rows + 1)
+    v_spare = v_budget - (chip.tile_cols + 1)
+    if h_spare <= 0 and v_spare <= 0:
+        return chip
+    h_load, v_load = corridor_load(chip, placement, graph)
+    h_bandwidths = _distribute(h_load, chip.tile_rows + 1, h_budget)
+    v_bandwidths = _distribute(v_load, chip.tile_cols + 1, v_budget)
+    return chip.with_bandwidths(h_bandwidths, v_bandwidths)
+
+
+def _distribute(load: dict[int, float], corridors: int, budget: int) -> list[int]:
+    """Give every corridor one lane, then spare lanes proportionally to load."""
+    bandwidths = [1] * corridors
+    spare = budget - corridors
+    if spare <= 0:
+        return bandwidths
+    total_load = sum(load.values())
+    if total_load <= 0:
+        # No recorded traffic: spread the spare lanes evenly from the centre out.
+        order = sorted(range(corridors), key=lambda i: abs(i - corridors / 2.0 + 0.5))
+        for offset in range(spare):
+            bandwidths[order[offset % corridors]] += 1
+        return bandwidths
+    # Largest-remainder proportional allocation.
+    shares = {i: spare * load.get(i, 0.0) / total_load for i in range(corridors)}
+    allocated = {i: int(shares[i]) for i in range(corridors)}
+    remaining = spare - sum(allocated.values())
+    remainder_order = sorted(range(corridors), key=lambda i: shares[i] - allocated[i], reverse=True)
+    for i in remainder_order[:remaining]:
+        allocated[i] += 1
+    return [1 + allocated[i] for i in range(corridors)]
+
+
+def build_initial_mapping(
+    circuit: Circuit,
+    chip: Chip,
+    cut_types: CutAssignment | None,
+    placement_strategy: str = "ecmas",
+    adjust: bool = True,
+    attempts: int = 4,
+    seed: int = 0,
+) -> InitialMapping:
+    """Run the full pre-processing pipeline for ``circuit`` on ``chip``."""
+    graph = circuit.communication_graph()
+    shape = determine_shape(circuit.num_qubits, chip)
+    placement = establish_placement(graph, shape, strategy=placement_strategy, attempts=attempts, seed=seed)
+    placement.validate(chip)
+    adjusted_chip = adjust_bandwidth(chip, placement, graph) if adjust else chip
+    cost = communication_cost(graph, placement)
+    return InitialMapping(
+        chip=adjusted_chip,
+        placement=placement,
+        cut_types=cut_types,
+        shape=shape,
+        mapping_cost=cost,
+    )

@@ -1,0 +1,242 @@
+"""Algorithm 2 — Ecmas-ReSu, scheduling for sufficient resources.
+
+When the chip communication capacity ``⌊(b-1)/2⌋ + 3`` covers the circuit
+parallelism degree ``gPM``, the execution scheme produced by Para-Finding can
+be executed layer by layer: every layer fits in one clock cycle by Theorem 2.
+
+For the double defect model the remaining cost is cut-type management.
+Algorithm 2 walks the execution scheme, accumulating layers into the largest
+prefix whose communication sub-graph stays bipartite (Lemma 1 guarantees at
+least two layers fit); the bipartition of each group becomes its cut-type
+mapping.  The first group's mapping is the initialisation; each subsequent
+group is preceded by a three-cycle cut-type remap.  This yields the paper's
+5/2-approximation guarantee (Theorem 3).
+
+For lattice surgery no cut types exist, so the schedule is simply one cycle
+per layer — the optimal ``α`` cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.chip.geometry import SurfaceCodeModel
+from repro.chip.routing_graph import RoutingGraph, tile_node_for
+from repro.circuits.circuit import Circuit
+from repro.circuits.dag import GateDAG
+from repro.core.cut_types import CutAssignment, CutType
+from repro.core.mapping import InitialMapping
+from repro.core.metrics import ExecutionScheme, para_finding
+from repro.core.schedule import EncodedCircuit, OperationKind, ScheduledOperation
+from repro.errors import SchedulingError
+from repro.routing.paths import CapacityUsage
+from repro.routing.router import find_path
+
+#: Cycles spent remapping cut types between bipartite groups (Theorem 3 uses 3).
+CUT_REMAP_CYCLES = 3
+
+
+@dataclass(frozen=True)
+class BipartiteGroup:
+    """A maximal run of consecutive layers whose communication sub-graph is bipartite."""
+
+    layer_indices: tuple[int, ...]
+    cut_types: CutAssignment
+
+
+def _bipartition_colors(adjacency: dict[int, set[int]], num_qubits: int) -> dict[int, int] | None:
+    colors: dict[int, int] = {}
+    for start in adjacency:
+        if start in colors:
+            continue
+        colors[start] = 0
+        queue = deque([start])
+        while queue:
+            node = queue.popleft()
+            for neighbor in adjacency.get(node, ()):
+                if neighbor not in colors:
+                    colors[neighbor] = 1 - colors[node]
+                    queue.append(neighbor)
+                elif colors[neighbor] == colors[node]:
+                    return None
+    return colors
+
+
+def split_into_bipartite_groups(
+    dag: GateDAG, scheme: ExecutionScheme, num_qubits: int
+) -> list[BipartiteGroup]:
+    """Greedily group consecutive layers while their union stays bipartite.
+
+    By Lemma 1 every group contains at least two layers (except possibly the
+    final one), which underpins the 5/2-approximation bound.
+    """
+    groups: list[BipartiteGroup] = []
+    current_layers: list[int] = []
+    adjacency: dict[int, set[int]] = {}
+    colors: dict[int, int] = {}
+
+    def close_group() -> None:
+        if not current_layers:
+            return
+        assignment = {
+            q: (CutType.X if colors.get(q, 0) == 0 else CutType.Z) for q in range(num_qubits)
+        }
+        groups.append(BipartiteGroup(tuple(current_layers), assignment))
+
+    for layer_index, layer in enumerate(scheme.layers):
+        trial = {q: set(neighbors) for q, neighbors in adjacency.items()}
+        for node in layer:
+            gate = dag.gate(node)
+            trial.setdefault(gate.control, set()).add(gate.target)
+            trial.setdefault(gate.target, set()).add(gate.control)
+        trial_colors = _bipartition_colors(trial, num_qubits)
+        if trial_colors is None:
+            close_group()
+            current_layers = []
+            adjacency = {}
+            for node in layer:
+                gate = dag.gate(node)
+                adjacency.setdefault(gate.control, set()).add(gate.target)
+                adjacency.setdefault(gate.target, set()).add(gate.control)
+            colors = _bipartition_colors(adjacency, num_qubits) or {}
+            current_layers.append(layer_index)
+        else:
+            adjacency = trial
+            colors = trial_colors
+            current_layers.append(layer_index)
+    close_group()
+    return groups
+
+
+class _LayerRouter:
+    """Routes one execution-scheme layer per clock cycle, spilling on congestion."""
+
+    def __init__(self, dag: GateDAG, mapping: InitialMapping, congestion_weight: float = 0.25):
+        self._dag = dag
+        self._mapping = mapping
+        self._graph = RoutingGraph(mapping.chip)
+        self._congestion_weight = congestion_weight
+
+    def route_layer(
+        self, nodes: tuple[int, ...], start_cycle: int, kind: OperationKind
+    ) -> tuple[list[ScheduledOperation], int]:
+        """Route every gate of a layer starting at ``start_cycle``.
+
+        Returns the operations and the number of cycles consumed (1 when the
+        whole layer fits, more when the greedy router needs spill cycles —
+        which Theorem 2 says should not happen on a sufficient chip, but the
+        router is heuristic so the fallback keeps the schedule valid).
+        """
+        remaining = list(nodes)
+        operations: list[ScheduledOperation] = []
+        cycles_used = 0
+        while remaining:
+            if cycles_used > len(nodes) + 1:
+                raise SchedulingError("layer routing failed to make progress")  # pragma: no cover
+            usage = CapacityUsage()
+            still_waiting: list[int] = []
+            for node in remaining:
+                gate = self._dag.gate(node)
+                source = tile_node_for(self._mapping.placement.slot_of(gate.control))
+                target = tile_node_for(self._mapping.placement.slot_of(gate.target))
+                path = find_path(self._graph, usage, source, target, self._congestion_weight)
+                if path is None:
+                    still_waiting.append(node)
+                    continue
+                usage.add_path(path)
+                operations.append(
+                    ScheduledOperation(
+                        kind=kind,
+                        start_cycle=start_cycle + cycles_used,
+                        duration=1,
+                        qubits=(gate.control, gate.target),
+                        gate_node=node,
+                        path=path,
+                    )
+                )
+            if len(still_waiting) == len(remaining):
+                raise SchedulingError(
+                    f"no gate of layer {nodes} could be routed on chip {self._mapping.chip.describe()}"
+                )
+            remaining = still_waiting
+            cycles_used += 1
+        return operations, cycles_used
+
+
+def schedule_resu_double_defect(
+    circuit: Circuit, mapping: InitialMapping, method: str = "ecmas-resu-dd"
+) -> EncodedCircuit:
+    """Ecmas-ReSu for the double defect model (Algorithm 2)."""
+    dag = circuit.dag()
+    result = EncodedCircuit(
+        model=SurfaceCodeModel.DOUBLE_DEFECT,
+        chip=mapping.chip,
+        placement=mapping.placement,
+        initial_cut_types=None,
+        method=method,
+    )
+    if len(dag) == 0:
+        result.initial_cut_types = dict(mapping.cut_types or {})
+        return result
+
+    scheme = para_finding(dag)
+    groups = split_into_bipartite_groups(dag, scheme, circuit.num_qubits)
+    router = _LayerRouter(dag, mapping)
+    operations: list[ScheduledOperation] = []
+    cycle = 0
+    previous_cuts: CutAssignment | None = None
+    initial_cuts: CutAssignment = groups[0].cut_types if groups else dict(mapping.cut_types or {})
+
+    for group in groups:
+        if previous_cuts is not None:
+            changed = tuple(
+                sorted(q for q in group.cut_types if group.cut_types[q] != previous_cuts[q])
+            )
+            if changed:
+                operations.append(
+                    ScheduledOperation(
+                        kind=OperationKind.CUT_REMAP,
+                        start_cycle=cycle,
+                        duration=CUT_REMAP_CYCLES,
+                        qubits=changed,
+                    )
+                )
+                cycle += CUT_REMAP_CYCLES
+        for layer_index in group.layer_indices:
+            layer_ops, used = router.route_layer(
+                scheme.layers[layer_index], cycle, OperationKind.CNOT_BRAID
+            )
+            operations.extend(layer_ops)
+            cycle += used
+        previous_cuts = group.cut_types
+
+    result.operations = operations
+    result.initial_cut_types = dict(initial_cuts)
+    return result
+
+
+def schedule_resu_lattice_surgery(
+    circuit: Circuit, mapping: InitialMapping, method: str = "ecmas-resu-ls"
+) -> EncodedCircuit:
+    """Ecmas-ReSu for the lattice surgery model: one cycle per Para-Finding layer."""
+    dag = circuit.dag()
+    result = EncodedCircuit(
+        model=SurfaceCodeModel.LATTICE_SURGERY,
+        chip=mapping.chip,
+        placement=mapping.placement,
+        initial_cut_types=None,
+        method=method,
+    )
+    if len(dag) == 0:
+        return result
+    scheme = para_finding(dag)
+    router = _LayerRouter(dag, mapping)
+    operations: list[ScheduledOperation] = []
+    cycle = 0
+    for layer in scheme.layers:
+        layer_ops, used = router.route_layer(layer, cycle, OperationKind.CNOT_BRAID)
+        operations.extend(layer_ops)
+        cycle += used
+    result.operations = operations
+    return result

@@ -1,0 +1,149 @@
+"""Encoded-circuit result types shared by every scheduler and baseline.
+
+An :class:`EncodedCircuit` is the output ``P^S`` of the transformation: a list
+of :class:`ScheduledOperation` with explicit start cycles, durations and
+(where applicable) routed paths, plus the mapping and cut-type context needed
+to validate it.  The schedule validator in :mod:`repro.verify` replays these
+operations and checks every constraint from Section III of the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.chip.chip import Chip
+from repro.chip.geometry import SurfaceCodeModel
+from repro.core.cut_types import CutAssignment, CutType
+from repro.errors import SchedulingError
+from repro.partition.placement import Placement
+from repro.routing.paths import RoutedPath
+
+
+class OperationKind(enum.Enum):
+    """The kinds of scheduled operations an encoded circuit may contain."""
+
+    #: One-cycle CNOT between different-cut tiles (double defect braid) or any
+    #: lattice-surgery CNOT via a Bell-state corridor.
+    CNOT_BRAID = "cnot_braid"
+    #: Three-cycle CNOT between same-cut tiles executed directly via the
+    #: ancilla qubit of the tile (double defect only).
+    CNOT_SAME_CUT = "cnot_same_cut"
+    #: Three-cycle tile-local cut-type modification (double defect only).
+    CUT_MODIFICATION = "cut_modification"
+    #: Multi-cycle cut-type remapping phase used by Ecmas-ReSu (Algorithm 2).
+    CUT_REMAP = "cut_remap"
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """One operation of the encoded circuit.
+
+    ``gate_node`` identifies the CNOT DAG node for CNOT operations and is
+    ``None`` for cut-type modifications / remaps.  ``qubits`` holds the
+    logical qubits involved (both operands for a CNOT, the modified qubit for
+    a modification, every remapped qubit for a remap).  ``path`` is the routed
+    corridor path for operations that occupy channels; ``lanes`` is the number
+    of lanes the operation reserves on each edge of that path during each
+    cycle of its duration.
+    """
+
+    kind: OperationKind
+    start_cycle: int
+    duration: int
+    qubits: tuple[int, ...]
+    gate_node: int | None = None
+    path: RoutedPath | None = None
+    lanes: int = 1
+    new_cut: CutType | None = None
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise SchedulingError(f"operation starts at negative cycle {self.start_cycle}")
+        if self.duration < 1:
+            raise SchedulingError(f"operation duration must be >= 1, got {self.duration}")
+        if self.kind in (OperationKind.CNOT_BRAID, OperationKind.CNOT_SAME_CUT) and self.gate_node is None:
+            raise SchedulingError("CNOT operations must reference their DAG node")
+
+    @property
+    def end_cycle(self) -> int:
+        """First cycle after the operation has finished."""
+        return self.start_cycle + self.duration
+
+    def occupies_cycle(self, cycle: int) -> bool:
+        """True when the operation is active during ``cycle``."""
+        return self.start_cycle <= cycle < self.end_cycle
+
+
+@dataclass
+class EncodedCircuit:
+    """The result ``P^S`` of mapping and scheduling a circuit onto a chip."""
+
+    model: SurfaceCodeModel
+    chip: Chip
+    placement: Placement
+    initial_cut_types: CutAssignment | None
+    operations: list[ScheduledOperation] = field(default_factory=list)
+    method: str = "ecmas"
+    compile_seconds: float = 0.0
+
+    @property
+    def num_cycles(self) -> int:
+        """Total clock cycles ``Δ`` of the encoded circuit."""
+        if not self.operations:
+            return 0
+        return max(op.end_cycle for op in self.operations)
+
+    @property
+    def num_cnots(self) -> int:
+        """Number of CNOT operations scheduled."""
+        return sum(
+            1
+            for op in self.operations
+            if op.kind in (OperationKind.CNOT_BRAID, OperationKind.CNOT_SAME_CUT)
+        )
+
+    @property
+    def num_cut_modifications(self) -> int:
+        """Number of cut-type modification / remap operations."""
+        return sum(
+            1
+            for op in self.operations
+            if op.kind in (OperationKind.CUT_MODIFICATION, OperationKind.CUT_REMAP)
+        )
+
+    def cnot_operations(self) -> list[ScheduledOperation]:
+        """All CNOT operations sorted by start cycle."""
+        return sorted(
+            (
+                op
+                for op in self.operations
+                if op.kind in (OperationKind.CNOT_BRAID, OperationKind.CNOT_SAME_CUT)
+            ),
+            key=lambda op: (op.start_cycle, op.gate_node),
+        )
+
+    def operations_in_cycle(self, cycle: int) -> list[ScheduledOperation]:
+        """All operations active during ``cycle``."""
+        return [op for op in self.operations if op.occupies_cycle(cycle)]
+
+    def completion_cycle_by_node(self) -> dict[int, int]:
+        """Map DAG node id -> first cycle after that CNOT finished."""
+        completion: dict[int, int] = {}
+        for op in self.operations:
+            if op.gate_node is None:
+                continue
+            if op.gate_node in completion:
+                raise SchedulingError(f"gate node {op.gate_node} scheduled twice")
+            completion[op.gate_node] = op.end_cycle
+        return completion
+
+    def channel_utilisation(self) -> float:
+        """Average reserved lanes per cycle (a coarse congestion statistic)."""
+        cycles = self.num_cycles
+        if cycles == 0:
+            return 0.0
+        lane_cycles = sum(
+            op.duration * op.lanes * (op.path.length if op.path else 0) for op in self.operations
+        )
+        return lane_cycles / cycles

@@ -1,0 +1,314 @@
+"""Algorithm 1 — priority scheduling for the double defect model.
+
+The scheduler walks the CNOT DAG cycle by cycle.  In every cycle it considers
+the ready gates whose operand tiles are free, in priority order (criticality,
+then descendant count), and for each gate either
+
+* routes a one-cycle braid when the operand cut types differ,
+* or — for same-cut operands — consults a cut-decision strategy
+  (:mod:`repro.core.cut_decisions`) to choose between a three-cycle direct
+  execution (which occupies a channel path for its whole duration) and a
+  three-cycle tile-local cut-type modification that may overlap the tile's
+  idle cycles and is followed by a one-cycle braid.
+
+Paths are routed on the corridor graph with per-cycle capacities equal to the
+corridor bandwidths, so gates that fail to find a path simply wait — this is
+exactly the congestion the paper's bandwidth adjusting and cut-type
+optimisations are designed to relieve.
+
+The same engine, configured with uniform cut types and the ``never_modify``
+strategy, serves as the AutoBraid / Braidflash baseline scheduler.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.chip.geometry import SurfaceCodeModel
+from repro.chip.routing_graph import Node, RoutingGraph, tile_node_for
+from repro.circuits.circuit import Circuit
+from repro.core.cut_decisions import (
+    DIRECT_SAME_CUT_CYCLES,
+    MODIFICATION_CYCLES,
+    CutContext,
+    CutDecisionStrategy,
+    adaptive_strategy,
+)
+from repro.core.cut_types import CutType
+from repro.core.mapping import InitialMapping
+from repro.core.priorities import PriorityFunction, criticality_priority
+from repro.core.schedule import EncodedCircuit, OperationKind, ScheduledOperation
+from repro.errors import SchedulingError
+from repro.routing.paths import CapacityUsage, RoutedPath
+from repro.routing.router import find_path
+
+#: Hard safety bound: a valid schedule never needs more cycles than four per
+#: gate plus the modification overhead; exceeding it indicates a scheduler bug.
+_SAFETY_FACTOR = 8
+
+
+class DoubleDefectScheduler:
+    """Schedules one circuit on one double-defect chip (Algorithm 1)."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        mapping: InitialMapping,
+        priority: PriorityFunction = criticality_priority,
+        cut_strategy: CutDecisionStrategy = adaptive_strategy,
+        congestion_weight: float = 0.25,
+        method: str = "ecmas-dd",
+    ):
+        if mapping.cut_types is None:
+            raise SchedulingError("double defect scheduling needs an initial cut-type assignment")
+        self._circuit = circuit
+        self._mapping = mapping
+        self._priority = priority
+        self._cut_strategy = cut_strategy
+        self._congestion_weight = congestion_weight
+        self._method = method
+        self._dag = circuit.dag()
+        self._graph = RoutingGraph(mapping.chip)
+
+    # ------------------------------------------------------------------ public
+    def run(self) -> EncodedCircuit:
+        """Produce the encoded circuit."""
+        result = EncodedCircuit(
+            model=SurfaceCodeModel.DOUBLE_DEFECT,
+            chip=self._mapping.chip,
+            placement=self._mapping.placement,
+            initial_cut_types=dict(self._mapping.cut_types or {}),
+            method=self._method,
+        )
+        if len(self._dag) == 0:
+            return result
+
+        frontier = self._dag.frontier()
+        cut = dict(self._mapping.cut_types or {})
+        busy_until: dict[int, int] = defaultdict(int)
+        usage_by_cycle: dict[int, CapacityUsage] = {}
+        completions: dict[int, list[int]] = defaultdict(list)
+        cut_flips: dict[int, list[int]] = defaultdict(list)
+        scheduled: set[int] = set()
+        operations: list[ScheduledOperation] = []
+
+        max_cycles = _SAFETY_FACTOR * (len(self._dag) * (DIRECT_SAME_CUT_CYCLES + MODIFICATION_CYCLES) + 10)
+        cycle = 0
+        while not frontier.is_done():
+            if cycle > max_cycles:
+                raise SchedulingError(
+                    f"double defect scheduler exceeded {max_cycles} cycles; "
+                    f"{frontier.num_remaining} gates remain"
+                )
+            for qubit in cut_flips.pop(cycle, []):
+                cut[qubit] = cut[qubit].flipped()
+            for node in completions.pop(cycle, []):
+                frontier.complete(node)
+
+            ready = [node for node in frontier.ready_nodes() if node not in scheduled]
+            available = [
+                node
+                for node in ready
+                if busy_until[self._dag.gate(node).control] <= cycle
+                and busy_until[self._dag.gate(node).target] <= cycle
+            ]
+            order = self._priority(self._dag, available)
+            usage_now = usage_by_cycle.setdefault(cycle, CapacityUsage())
+
+            for node in order:
+                gate = self._dag.gate(node)
+                qubit_a, qubit_b = gate.control, gate.target
+                if busy_until[qubit_a] > cycle or busy_until[qubit_b] > cycle:
+                    continue  # an earlier decision in this cycle occupied a tile
+                if cut[qubit_a] != cut[qubit_b]:
+                    self._try_braid(
+                        node, qubit_a, qubit_b, cycle, usage_now,
+                        busy_until, completions, scheduled, operations,
+                    )
+                    continue
+                context = CutContext(
+                    dag=self._dag,
+                    node=node,
+                    qubit_a=qubit_a,
+                    qubit_b=qubit_b,
+                    cut_types=cut,
+                    idle_a=cycle - busy_until[qubit_a],
+                    idle_b=cycle - busy_until[qubit_b],
+                    ready_count=len(available),
+                    bandwidth=self._mapping.chip.bandwidth,
+                    num_qubits=self._circuit.num_qubits,
+                )
+                decision = self._cut_strategy(context)
+                if decision.modify and decision.qubit is not None:
+                    finished_now = self._schedule_modification(
+                        decision.qubit, cycle, cut, busy_until, cut_flips, operations,
+                        idle=cycle - busy_until[decision.qubit],
+                    )
+                    if finished_now:
+                        # The modification fit entirely into past idle cycles;
+                        # the cut types now differ, so try the braid immediately.
+                        self._try_braid(
+                            node, qubit_a, qubit_b, cycle, usage_now,
+                            busy_until, completions, scheduled, operations,
+                        )
+                else:
+                    self._try_direct(
+                        node, qubit_a, qubit_b, cycle, usage_by_cycle,
+                        busy_until, completions, scheduled, operations,
+                    )
+
+            cycle += 1
+            usage_by_cycle.pop(cycle - 1, None)
+
+        result.operations = operations
+        return result
+
+    # ---------------------------------------------------------------- helpers
+    def _tile(self, qubit: int) -> Node:
+        return tile_node_for(self._mapping.placement.slot_of(qubit))
+
+    def _try_braid(
+        self,
+        node: int,
+        qubit_a: int,
+        qubit_b: int,
+        cycle: int,
+        usage_now: CapacityUsage,
+        busy_until: dict[int, int],
+        completions: dict[int, list[int]],
+        scheduled: set[int],
+        operations: list[ScheduledOperation],
+    ) -> bool:
+        """One-cycle braid between different-cut tiles; returns True if scheduled."""
+        path = find_path(
+            self._graph, usage_now, self._tile(qubit_a), self._tile(qubit_b), self._congestion_weight
+        )
+        if path is None:
+            return False
+        usage_now.add_path(path)
+        operations.append(
+            ScheduledOperation(
+                kind=OperationKind.CNOT_BRAID,
+                start_cycle=cycle,
+                duration=1,
+                qubits=(qubit_a, qubit_b),
+                gate_node=node,
+                path=path,
+            )
+        )
+        busy_until[qubit_a] = cycle + 1
+        busy_until[qubit_b] = cycle + 1
+        completions[cycle + 1].append(node)
+        scheduled.add(node)
+        return True
+
+    def _try_direct(
+        self,
+        node: int,
+        qubit_a: int,
+        qubit_b: int,
+        cycle: int,
+        usage_by_cycle: dict[int, CapacityUsage],
+        busy_until: dict[int, int],
+        completions: dict[int, list[int]],
+        scheduled: set[int],
+        operations: list[ScheduledOperation],
+    ) -> bool:
+        """Three-cycle same-cut CNOT occupying its path for the whole duration."""
+        path = self._find_multicycle_path(cycle, DIRECT_SAME_CUT_CYCLES, qubit_a, qubit_b, usage_by_cycle)
+        if path is None:
+            return False
+        for offset in range(DIRECT_SAME_CUT_CYCLES):
+            usage_by_cycle.setdefault(cycle + offset, CapacityUsage()).add_path(path)
+        operations.append(
+            ScheduledOperation(
+                kind=OperationKind.CNOT_SAME_CUT,
+                start_cycle=cycle,
+                duration=DIRECT_SAME_CUT_CYCLES,
+                qubits=(qubit_a, qubit_b),
+                gate_node=node,
+                path=path,
+            )
+        )
+        end = cycle + DIRECT_SAME_CUT_CYCLES
+        busy_until[qubit_a] = end
+        busy_until[qubit_b] = end
+        completions[end].append(node)
+        scheduled.add(node)
+        return True
+
+    def _schedule_modification(
+        self,
+        qubit: int,
+        cycle: int,
+        cut: dict[int, CutType],
+        busy_until: dict[int, int],
+        cut_flips: dict[int, list[int]],
+        operations: list[ScheduledOperation],
+        idle: int,
+    ) -> bool:
+        """Schedule a cut-type modification; returns True when it completes immediately.
+
+        The modification may overlap up to ``MODIFICATION_CYCLES`` cycles the
+        tile has already spent idle (the paper's "performed earlier" rule); the
+        recorded operation keeps its true start cycle so the validator can
+        check the tile really was idle.
+        """
+        overlap = min(MODIFICATION_CYCLES, max(0, idle))
+        start = cycle - overlap
+        end = start + MODIFICATION_CYCLES
+        operations.append(
+            ScheduledOperation(
+                kind=OperationKind.CUT_MODIFICATION,
+                start_cycle=start,
+                duration=MODIFICATION_CYCLES,
+                qubits=(qubit,),
+                new_cut=cut[qubit].flipped(),
+            )
+        )
+        if end <= cycle:
+            cut[qubit] = cut[qubit].flipped()
+            return True
+        busy_until[qubit] = end
+        cut_flips[end].append(qubit)
+        return False
+
+    def _find_multicycle_path(
+        self,
+        cycle: int,
+        duration: int,
+        qubit_a: int,
+        qubit_b: int,
+        usage_by_cycle: dict[int, CapacityUsage],
+    ) -> RoutedPath | None:
+        """Find a path free in every cycle of ``[cycle, cycle + duration)``.
+
+        The search runs against a merged usage view holding, for every edge,
+        the maximum reservation over the involved cycles.
+        """
+        merged = CapacityUsage()
+        for offset in range(duration):
+            cycle_usage = usage_by_cycle.get(cycle + offset)
+            if cycle_usage is None:
+                continue
+            for key, used in cycle_usage.used.items():
+                merged.used[key] = max(merged.used.get(key, 0), used)
+            for node, used in cycle_usage.node_used.items():
+                merged.node_used[node] = max(merged.node_used.get(node, 0), used)
+        return find_path(
+            self._graph, merged, self._tile(qubit_a), self._tile(qubit_b), self._congestion_weight
+        )
+
+
+def schedule_double_defect(
+    circuit: Circuit,
+    mapping: InitialMapping,
+    priority: PriorityFunction = criticality_priority,
+    cut_strategy: CutDecisionStrategy = adaptive_strategy,
+    method: str = "ecmas-dd",
+) -> EncodedCircuit:
+    """Convenience wrapper around :class:`DoubleDefectScheduler`."""
+    scheduler = DoubleDefectScheduler(
+        circuit, mapping, priority=priority, cut_strategy=cut_strategy, method=method
+    )
+    return scheduler.run()

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the Ecmas reproduction.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming errors
+such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class CircuitError(ReproError):
+    """Raised when a circuit is constructed or manipulated inconsistently."""
+
+
+class QasmError(ReproError):
+    """Raised when OpenQASM source cannot be lexed, parsed, or expanded."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class ChipError(ReproError):
+    """Raised when a chip configuration is invalid or too small for a circuit."""
+
+
+class MappingError(ReproError):
+    """Raised when an initial tile mapping cannot be produced or is invalid."""
+
+
+class RoutingError(ReproError):
+    """Raised when path routing fails in a way the scheduler cannot recover from."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a scheduler cannot produce a valid encoded circuit."""
+
+
+class ValidationError(ReproError):
+    """Raised by :mod:`repro.verify` when an encoded circuit violates a constraint."""
+
+
+class PartitionError(ReproError):
+    """Raised when graph partitioning receives invalid input."""

@@ -1,0 +1,39 @@
+"""Evaluation harness: experiment runner, table and figure builders, rendering."""
+
+from repro.eval.export import rows_to_csv, rows_to_json, sweep_to_csv, sweep_to_json, write_csv, write_json
+from repro.eval.figures import SweepPoint, figure11_parallelism, figure12_chip_size
+from repro.eval.report import format_sweep, format_table
+from repro.eval.runner import ExperimentRecord, compile_with_method, run_method
+from repro.eval.tables import (
+    TABLE1_METHODS,
+    summarise_reduction,
+    table1_overview,
+    table2_location,
+    table3_cut_initialisation,
+    table4_gate_scheduling,
+    table5_cut_scheduling,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "run_method",
+    "compile_with_method",
+    "TABLE1_METHODS",
+    "table1_overview",
+    "table2_location",
+    "table3_cut_initialisation",
+    "table4_gate_scheduling",
+    "table5_cut_scheduling",
+    "summarise_reduction",
+    "figure11_parallelism",
+    "figure12_chip_size",
+    "SweepPoint",
+    "format_table",
+    "format_sweep",
+    "rows_to_json",
+    "rows_to_csv",
+    "sweep_to_json",
+    "sweep_to_csv",
+    "write_json",
+    "write_csv",
+]

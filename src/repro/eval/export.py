@@ -1,0 +1,82 @@
+"""Export evaluation results as JSON or CSV.
+
+The table builders return lists of row dictionaries and the figure builders
+return :class:`~repro.eval.figures.SweepPoint` lists; these helpers serialise
+either form so results can be archived or plotted with external tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from collections.abc import Sequence
+
+from repro.eval.figures import SweepPoint
+
+
+def rows_to_json(rows: Sequence[dict], indent: int = 2) -> str:
+    """Serialise table rows as a JSON array."""
+    return json.dumps(list(rows), indent=indent, sort_keys=True, default=str)
+
+
+def rows_to_csv(rows: Sequence[dict]) -> str:
+    """Serialise table rows as CSV (union of all keys, in first-seen order)."""
+    if not rows:
+        return ""
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def sweep_to_rows(points: Sequence[SweepPoint]) -> list[dict]:
+    """Flatten sweep points into plain row dictionaries."""
+    rows = []
+    for point in points:
+        row = {
+            "series": point.series,
+            "x": point.x,
+            "cycles": point.cycles,
+            "compile_seconds": point.compile_seconds,
+        }
+        row.update(point.extra)
+        rows.append(row)
+    return rows
+
+
+def sweep_to_json(points: Sequence[SweepPoint], indent: int = 2) -> str:
+    """Serialise a figure sweep as a JSON array."""
+    return rows_to_json(sweep_to_rows(points), indent=indent)
+
+
+def sweep_to_csv(points: Sequence[SweepPoint]) -> str:
+    """Serialise a figure sweep as CSV."""
+    return rows_to_csv(sweep_to_rows(points))
+
+
+def write_json(path, rows_or_points) -> None:
+    """Write rows or sweep points to ``path`` as JSON."""
+    if rows_or_points and isinstance(rows_or_points[0], SweepPoint):
+        text = sweep_to_json(rows_or_points)
+    else:
+        text = rows_to_json(rows_or_points)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def write_csv(path, rows_or_points) -> None:
+    """Write rows or sweep points to ``path`` as CSV."""
+    if rows_or_points and isinstance(rows_or_points[0], SweepPoint):
+        text = sweep_to_csv(rows_or_points)
+    else:
+        text = rows_to_csv(rows_or_points)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,132 @@
+"""Builders for the paper's evaluation figures (Fig. 11 and Fig. 12).
+
+Both figures evaluate QUEKO-style random circuits with 49 qubits and depth 50:
+
+* **Figure 11** sweeps the circuit parallelism degree from 1 to 21 on the
+  minimum viable chip and compares Ecmas against the model's baseline
+  (EDPCI for lattice surgery, AutoBraid for double defect), averaging the
+  cycle count over a group of circuits per parallelism value.
+* **Figure 12** fixes two parallelism values (11 and 21) and sweeps the chip
+  size (average corridor bandwidth 1–5), reporting both the cycle count and
+  the compile-time ratio relative to the minimum viable chip.
+
+The group sizes default to values that keep the sweeps tractable on a laptop;
+the paper uses 50 circuits per group, which the benchmark harness can request
+explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import mean
+
+from repro.baselines import compile_autobraid, compile_edpci
+from repro.chip.chip import Chip
+from repro.chip.geometry import SurfaceCodeModel
+from repro.circuits.generators import parallelism_group
+from repro.core.ecmas import compile_circuit
+from repro.eval.runner import run_method
+
+#: Workload parameters of the paper's scalability study.
+FIGURE_NUM_QUBITS = 49
+FIGURE_DEPTH = 50
+
+
+@dataclass
+class SweepPoint:
+    """One averaged data point of a figure sweep."""
+
+    x: float
+    series: str
+    cycles: float
+    compile_seconds: float
+    extra: dict = field(default_factory=dict)
+
+
+def figure11_parallelism(
+    model: SurfaceCodeModel,
+    parallelisms: tuple[int, ...] = tuple(range(1, 22)),
+    group_size: int = 3,
+    num_qubits: int = FIGURE_NUM_QUBITS,
+    depth: int = FIGURE_DEPTH,
+    code_distance: int = 3,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Figure 11: average cycles vs circuit parallelism degree on the minimum chip."""
+    baseline_method = "edpci_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "autobraid"
+    ecmas_method = "ecmas_ls_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "ecmas_dd_min"
+    points: list[SweepPoint] = []
+    for parallelism in parallelisms:
+        circuits = parallelism_group(num_qubits, depth, parallelism, group_size, seed=seed + parallelism)
+        for method, series in ((baseline_method, "baseline"), (ecmas_method, "ecmas")):
+            records = [
+                run_method(circuit, method, code_distance=code_distance) for circuit in circuits
+            ]
+            points.append(
+                SweepPoint(
+                    x=float(parallelism),
+                    series=series,
+                    cycles=mean(record.cycles for record in records),
+                    compile_seconds=mean(record.compile_seconds for record in records),
+                    extra={"method": method, "group_size": group_size},
+                )
+            )
+    return points
+
+
+def figure12_chip_size(
+    model: SurfaceCodeModel,
+    parallelisms: tuple[int, ...] = (11, 21),
+    bandwidths: tuple[int, ...] = (1, 2, 3, 4, 5),
+    group_size: int = 2,
+    num_qubits: int = FIGURE_NUM_QUBITS,
+    depth: int = FIGURE_DEPTH,
+    code_distance: int = 3,
+    seed: int = 0,
+) -> list[SweepPoint]:
+    """Figure 12: cycles and compile-time ratio vs chip size for PM ∈ {11, 21}.
+
+    The x value of each point is the number of physical qubits divided by
+    ``d²`` (the unit of the paper's x axis), and the ``extra`` dict carries
+    the compile-time ratio relative to that series' smallest chip.
+    """
+    points: list[SweepPoint] = []
+    for parallelism in parallelisms:
+        circuits = parallelism_group(num_qubits, depth, parallelism, group_size, seed=seed + parallelism)
+        series_points: dict[str, list[SweepPoint]] = {"ecmas": [], "baseline": []}
+        for bandwidth in bandwidths:
+            chip = Chip.for_bandwidth(model, num_qubits, code_distance, bandwidth)
+            x = chip.physical_qubits / (code_distance**2)
+            for series in ("ecmas", "baseline"):
+                cycles_samples: list[float] = []
+                compile_samples: list[float] = []
+                for circuit in circuits:
+                    if series == "ecmas":
+                        encoded = compile_circuit(
+                            circuit, model=model, chip=chip, scheduler="limited", code_distance=code_distance
+                        )
+                    elif model is SurfaceCodeModel.LATTICE_SURGERY:
+                        encoded = compile_edpci(circuit, chip=chip, code_distance=code_distance)
+                    else:
+                        encoded = compile_autobraid(circuit, chip=chip, code_distance=code_distance)
+                    cycles_samples.append(encoded.num_cycles)
+                    compile_samples.append(encoded.compile_seconds)
+                series_points[series].append(
+                    SweepPoint(
+                        x=x,
+                        series=f"{series}_pm{parallelism}",
+                        cycles=mean(cycles_samples),
+                        compile_seconds=mean(compile_samples) if any(compile_samples) else 0.0,
+                        extra={"bandwidth": bandwidth, "parallelism": parallelism},
+                    )
+                )
+        # Compile-time ratio relative to the smallest chip of each series.
+        for series_list in series_points.values():
+            if not series_list:
+                continue
+            base = series_list[0].compile_seconds or None
+            for point in series_list:
+                ratio = (point.compile_seconds / base) if base else 1.0
+                point.extra["compile_time_ratio"] = ratio
+            points.extend(series_list)
+    return points

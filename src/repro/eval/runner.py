@@ -1,0 +1,125 @@
+"""Experiment runner: one (circuit, chip, method) → one record.
+
+The evaluation tables and figures are built from :class:`ExperimentRecord`
+rows produced by :func:`run_method`.  Method names follow the columns of the
+paper's tables:
+
+``autobraid``, ``braidflash``
+    Double defect baselines on the minimum viable chip.
+``ecmas_dd_min``, ``ecmas_dd_4x``, ``ecmas_dd_resu``
+    Ecmas for double defect on the minimum viable chip, the 4x chip, and the
+    sufficient-resources configuration (Ecmas-ReSu).
+``edpci_min``, ``edpci_4x``
+    EDPCI baseline for lattice surgery on the minimum viable / 4x chip.
+``ecmas_ls_min``, ``ecmas_ls_4x``, ``ecmas_ls_resu``
+    Ecmas for lattice surgery.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.baselines import compile_autobraid, compile_braidflash, compile_edpci
+from repro.chip.chip import Chip
+from repro.chip.geometry import SurfaceCodeModel
+from repro.circuits.circuit import Circuit
+from repro.core.ecmas import EcmasOptions, compile_circuit
+from repro.core.schedule import EncodedCircuit
+from repro.errors import ReproError
+from repro.verify import validate_encoded_circuit
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured data point of the evaluation."""
+
+    circuit: str
+    method: str
+    num_qubits: int
+    alpha: int
+    num_cnots: int
+    cycles: int
+    compile_seconds: float
+    chip: str
+    paper_cycles: int | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def relative_to_paper(self) -> float | None:
+        """Measured cycles divided by the paper-reported cycles (``None`` if unknown)."""
+        if not self.paper_cycles:
+            return None
+        return self.cycles / self.paper_cycles
+
+
+#: Method name -> (surface code model, resources) for the Ecmas configurations.
+_ECMAS_CONFIGS: dict[str, tuple[SurfaceCodeModel, str, str]] = {
+    "ecmas_dd_min": (SurfaceCodeModel.DOUBLE_DEFECT, "minimum", "limited"),
+    "ecmas_dd_4x": (SurfaceCodeModel.DOUBLE_DEFECT, "4x", "limited"),
+    "ecmas_dd_resu": (SurfaceCodeModel.DOUBLE_DEFECT, "sufficient", "resu"),
+    "ecmas_ls_min": (SurfaceCodeModel.LATTICE_SURGERY, "minimum", "limited"),
+    "ecmas_ls_4x": (SurfaceCodeModel.LATTICE_SURGERY, "4x", "limited"),
+    "ecmas_ls_resu": (SurfaceCodeModel.LATTICE_SURGERY, "sufficient", "resu"),
+}
+
+
+def compile_with_method(
+    circuit: Circuit,
+    method: str,
+    code_distance: int = 3,
+    chip: Chip | None = None,
+    options: EcmasOptions | None = None,
+) -> EncodedCircuit:
+    """Compile ``circuit`` with a named method (see module docstring)."""
+    if method == "autobraid":
+        return compile_autobraid(circuit, chip=chip, code_distance=code_distance)
+    if method == "braidflash":
+        return compile_braidflash(circuit, chip=chip, code_distance=code_distance)
+    if method == "edpci_min":
+        chip = chip or Chip.minimum_viable(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, code_distance)
+        return compile_edpci(circuit, chip=chip, code_distance=code_distance)
+    if method == "edpci_4x":
+        chip = chip or Chip.four_x(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, code_distance)
+        return compile_edpci(circuit, chip=chip, code_distance=code_distance)
+    if method in _ECMAS_CONFIGS:
+        model, resources, scheduler = _ECMAS_CONFIGS[method]
+        return compile_circuit(
+            circuit,
+            model=model,
+            chip=chip,
+            resources=resources,
+            scheduler=scheduler,
+            code_distance=code_distance,
+            options=options,
+        )
+    raise ReproError(f"unknown evaluation method {method!r}")
+
+
+def run_method(
+    circuit: Circuit,
+    method: str,
+    circuit_name: str | None = None,
+    code_distance: int = 3,
+    chip: Chip | None = None,
+    paper_cycles: int | None = None,
+    validate: bool = False,
+    options: EcmasOptions | None = None,
+) -> ExperimentRecord:
+    """Compile and measure one data point; optionally validate the schedule."""
+    started = time.perf_counter()
+    encoded = compile_with_method(circuit, method, code_distance=code_distance, chip=chip, options=options)
+    elapsed = time.perf_counter() - started
+    if validate:
+        validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+    return ExperimentRecord(
+        circuit=circuit_name or circuit.name,
+        method=method,
+        num_qubits=circuit.num_qubits,
+        alpha=circuit.depth(),
+        num_cnots=circuit.num_cnots,
+        cycles=encoded.num_cycles,
+        compile_seconds=elapsed,
+        chip=encoded.chip.describe(),
+        paper_cycles=paper_cycles,
+    )

@@ -1,0 +1,172 @@
+"""Builders for the paper's evaluation tables (Table I–V).
+
+Every function returns a list of row dictionaries (one per benchmark circuit)
+containing the measured cycle counts for each method column, alongside the
+paper-reported values where available.  :mod:`repro.eval.report` renders them
+as text tables, and the benchmark harness under ``benchmarks/`` regenerates
+them under pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.baselines import (
+    compile_with_cut_initialisation,
+    compile_with_cut_scheduling,
+    compile_with_gate_order,
+    compile_with_location_strategy,
+)
+from repro.circuits.generators import BenchmarkSpec, default_suite, sensitivity_suite
+from repro.eval.runner import ExperimentRecord, run_method
+
+#: The method columns of Table I, in the paper's order.
+TABLE1_METHODS: tuple[str, ...] = (
+    "autobraid",
+    "ecmas_dd_min",
+    "ecmas_dd_resu",
+    "edpci_min",
+    "edpci_4x",
+    "ecmas_ls_min",
+    "ecmas_ls_4x",
+)
+
+
+def table1_overview(
+    suite: Sequence[BenchmarkSpec] | None = None,
+    methods: Iterable[str] = TABLE1_METHODS,
+    include_large: bool = False,
+    validate: bool = False,
+    code_distance: int = 3,
+) -> list[dict]:
+    """Table I: cycle counts of every method over the benchmark suite."""
+    specs = list(suite) if suite is not None else default_suite(include_large=include_large)
+    rows: list[dict] = []
+    for spec in specs:
+        circuit = spec.build()
+        row: dict = {
+            "circuit": spec.name,
+            "n": circuit.num_qubits,
+            "alpha": circuit.depth(),
+            "g": circuit.num_cnots,
+            "paper_alpha": spec.paper_alpha,
+            "paper_g": spec.paper_g,
+        }
+        for method in methods:
+            paper = (spec.paper_cycles or {}).get(method)
+            record = run_method(
+                circuit,
+                method,
+                circuit_name=spec.name,
+                code_distance=code_distance,
+                paper_cycles=paper,
+                validate=validate,
+            )
+            row[method] = record.cycles
+            if paper is not None:
+                row[f"paper_{method}"] = paper
+        rows.append(row)
+    return rows
+
+
+def _sensitivity_rows(
+    column_runs: dict[str, callable],
+    suite: Sequence[BenchmarkSpec] | None,
+    code_distance: int,
+) -> list[dict]:
+    specs = list(suite) if suite is not None else sensitivity_suite()
+    rows: list[dict] = []
+    for spec in specs:
+        circuit = spec.build()
+        row: dict = {
+            "circuit": spec.name,
+            "n": circuit.num_qubits,
+            "alpha": circuit.depth(),
+            "g": circuit.num_cnots,
+        }
+        for column, compile_fn in column_runs.items():
+            encoded = compile_fn(circuit, code_distance)
+            row[column] = encoded.num_cycles
+        rows.append(row)
+    return rows
+
+
+def table2_location(
+    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+) -> list[dict]:
+    """Table II: location-initialisation ablation (Trivial / Metis / Ours)."""
+    return _sensitivity_rows(
+        {
+            "trivial": lambda c, d: compile_with_location_strategy(c, "trivial", code_distance=d),
+            "metis": lambda c, d: compile_with_location_strategy(c, "metis", code_distance=d),
+            "ours": lambda c, d: compile_with_location_strategy(c, "ecmas", code_distance=d),
+        },
+        suite,
+        code_distance,
+    )
+
+
+def table3_cut_initialisation(
+    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+) -> list[dict]:
+    """Table III: cut-type initialisation ablation (Random / Max-cut / Ours)."""
+    return _sensitivity_rows(
+        {
+            "random": lambda c, d: compile_with_cut_initialisation(c, "random", code_distance=d),
+            "maxcut": lambda c, d: compile_with_cut_initialisation(c, "maxcut", code_distance=d),
+            "ours": lambda c, d: compile_with_cut_initialisation(c, "bipartite_prefix", code_distance=d),
+        },
+        suite,
+        code_distance,
+    )
+
+
+def table4_gate_scheduling(
+    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+) -> list[dict]:
+    """Table IV: gate-scheduling ablation in the lattice surgery model."""
+    return _sensitivity_rows(
+        {
+            "circuit_order": lambda c, d: compile_with_gate_order(c, "circuit_order", code_distance=d),
+            "ours": lambda c, d: compile_with_gate_order(c, "criticality", code_distance=d),
+        },
+        suite,
+        code_distance,
+    )
+
+
+def table5_cut_scheduling(
+    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+) -> list[dict]:
+    """Table V: cut-type scheduling ablation (Channel-first / Time-first / Ours)."""
+    return _sensitivity_rows(
+        {
+            "channel_first": lambda c, d: compile_with_cut_scheduling(c, "channel_first", code_distance=d),
+            "time_first": lambda c, d: compile_with_cut_scheduling(c, "time_first", code_distance=d),
+            "ours": lambda c, d: compile_with_cut_scheduling(c, "adaptive", code_distance=d),
+        },
+        suite,
+        code_distance,
+    )
+
+
+def summarise_reduction(rows: list[dict], baseline: str, ours: str) -> dict:
+    """Average / maximum relative cycle reduction of ``ours`` vs ``baseline``.
+
+    This is the statistic the paper headlines (e.g. "51.5% on average, 67.3%
+    at most" for Ecmas-dd vs AutoBraid).
+    """
+    reductions = []
+    for row in rows:
+        base = row.get(baseline)
+        new = row.get(ours)
+        if not base or new is None:
+            continue
+        reductions.append(1.0 - new / base)
+    if not reductions:
+        return {"average": 0.0, "maximum": 0.0, "count": 0}
+    return {
+        "average": sum(reductions) / len(reductions),
+        "maximum": max(reductions),
+        "count": len(reductions),
+    }

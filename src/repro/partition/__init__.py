@@ -1,0 +1,24 @@
+"""Graph partitioning and placement substrate (METIS substitute)."""
+
+from repro.partition.kl import cut_weight, kernighan_lin_bisection
+from repro.partition.placement import (
+    Placement,
+    best_placement,
+    communication_cost,
+    random_placement,
+    recursive_bisection_placement,
+    spectral_placement,
+    trivial_snake_placement,
+)
+
+__all__ = [
+    "kernighan_lin_bisection",
+    "cut_weight",
+    "Placement",
+    "communication_cost",
+    "recursive_bisection_placement",
+    "best_placement",
+    "trivial_snake_placement",
+    "spectral_placement",
+    "random_placement",
+]

@@ -1,0 +1,158 @@
+"""Kernighan–Lin weighted graph bisection.
+
+The paper uses METIS to map logical qubits onto the tile array according to
+the communication graph.  METIS is a multilevel refinement partitioner whose
+core refinement step is Kernighan–Lin / Fiduccia–Mattheyses; this module
+implements weighted KL bisection from scratch, which is all the mapping stage
+needs (the recursive driver lives in :mod:`repro.partition.placement`).
+
+The implementation follows the classic formulation: repeatedly compute gains
+``D[v] = external(v) - internal(v)``, greedily swap the highest-gain pair,
+lock the swapped vertices, and keep the best prefix of swaps of each pass.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+
+from repro.errors import PartitionError
+
+#: Weighted adjacency: ``weights[(a, b)] = w`` with ``a < b``.
+WeightMap = dict[tuple[int, int], float]
+
+
+def _edge(a: int, b: int) -> tuple[int, int]:
+    return (a, b) if a < b else (b, a)
+
+
+def cut_weight(weights: WeightMap, side_a: set[int], side_b: set[int]) -> float:
+    """Total weight of edges crossing the bisection."""
+    total = 0.0
+    for (a, b), w in weights.items():
+        if (a in side_a and b in side_b) or (a in side_b and b in side_a):
+            total += w
+    return total
+
+
+def _neighbor_weights(weights: WeightMap, vertices: Sequence[int]) -> dict[int, dict[int, float]]:
+    adjacency: dict[int, dict[int, float]] = {v: {} for v in vertices}
+    for (a, b), w in weights.items():
+        if a in adjacency and b in adjacency:
+            adjacency[a][b] = adjacency[a].get(b, 0.0) + w
+            adjacency[b][a] = adjacency[b].get(a, 0.0) + w
+    return adjacency
+
+
+def kernighan_lin_bisection(
+    vertices: Sequence[int],
+    weights: WeightMap,
+    max_passes: int = 10,
+    seed: int | None = None,
+    initial: tuple[set[int], set[int]] | None = None,
+    size_a: int | None = None,
+) -> tuple[set[int], set[int]]:
+    """Bisect ``vertices`` into two halves with small cut weight.
+
+    By default the split is balanced (sizes differ by at most one vertex);
+    ``size_a`` requests an explicit size for the first side, which the
+    recursive grid placement uses when a region splits unevenly.  ``initial``
+    may provide a starting partition (e.g. from a previous level of
+    recursion); otherwise a random split of the requested sizes seeds the
+    refinement.  KL passes swap vertex pairs, so the requested sizes are
+    preserved exactly.
+    """
+    vertex_list = list(vertices)
+    if len(vertex_list) < 2:
+        raise PartitionError("bisection needs at least two vertices")
+    if len(set(vertex_list)) != len(vertex_list):
+        raise PartitionError("duplicate vertices in bisection input")
+    if size_a is not None and not 0 < size_a < len(vertex_list):
+        raise PartitionError(f"size_a={size_a} must be strictly between 0 and {len(vertex_list)}")
+    rng = random.Random(seed)
+    if initial is None:
+        shuffled = vertex_list[:]
+        rng.shuffle(shuffled)
+        half = size_a if size_a is not None else (len(shuffled) + 1) // 2
+        side_a, side_b = set(shuffled[:half]), set(shuffled[half:])
+    else:
+        side_a, side_b = set(initial[0]), set(initial[1])
+        if side_a | side_b != set(vertex_list) or side_a & side_b:
+            raise PartitionError("initial partition does not cover the vertex set")
+    adjacency = _neighbor_weights(weights, vertex_list)
+
+    for _ in range(max_passes):
+        improved = _kl_pass(side_a, side_b, adjacency)
+        if not improved:
+            break
+    return side_a, side_b
+
+
+def _gains(side_a: set[int], side_b: set[int], adjacency: dict[int, dict[int, float]]) -> dict[int, float]:
+    gains: dict[int, float] = {}
+    for vertex, neighbors in adjacency.items():
+        own = side_a if vertex in side_a else side_b
+        external = sum(w for n, w in neighbors.items() if n not in own)
+        internal = sum(w for n, w in neighbors.items() if n in own)
+        gains[vertex] = external - internal
+    return gains
+
+
+def _kl_pass(side_a: set[int], side_b: set[int], adjacency: dict[int, dict[int, float]]) -> bool:
+    """One KL pass; returns True when the partition was improved."""
+    gains = _gains(side_a, side_b, adjacency)
+    locked: set[int] = set()
+    swap_sequence: list[tuple[int, int, float]] = []
+    work_a, work_b = set(side_a), set(side_b)
+
+    for _ in range(min(len(work_a), len(work_b))):
+        best: tuple[float, int, int] | None = None
+        for a in work_a:
+            if a in locked:
+                continue
+            for b in work_b:
+                if b in locked:
+                    continue
+                cross = adjacency[a].get(b, 0.0)
+                gain = gains[a] + gains[b] - 2.0 * cross
+                if best is None or gain > best[0]:
+                    best = (gain, a, b)
+        if best is None:
+            break
+        gain, a, b = best
+        swap_sequence.append((a, b, gain))
+        locked.add(a)
+        locked.add(b)
+        # Update gains as if a and b were swapped.
+        for vertex, neighbors in adjacency.items():
+            if vertex in locked:
+                continue
+            delta = 0.0
+            in_a = vertex in work_a
+            if a in neighbors:
+                delta += (2.0 if in_a else -2.0) * neighbors[a]
+            if b in neighbors:
+                delta += (-2.0 if in_a else 2.0) * neighbors[b]
+            gains[vertex] += delta
+        work_a.remove(a)
+        work_b.remove(b)
+        work_a.add(b)
+        work_b.add(a)
+
+    # Keep the best prefix of swaps.
+    best_total = 0.0
+    best_prefix = 0
+    running = 0.0
+    for index, (_, _, gain) in enumerate(swap_sequence, start=1):
+        running += gain
+        if running > best_total + 1e-12:
+            best_total = running
+            best_prefix = index
+    if best_prefix == 0:
+        return False
+    for a, b, _ in swap_sequence[:best_prefix]:
+        side_a.remove(a)
+        side_b.remove(b)
+        side_a.add(b)
+        side_b.add(a)
+    return True

@@ -1,0 +1,17 @@
+"""Routing substrate: capacity-aware path search over the corridor graph."""
+
+from repro.routing.edp import can_route_simultaneously, max_simultaneous, route_edge_disjoint
+from repro.routing.paths import CapacityUsage, RoutedPath
+from repro.routing.router import CycleRouter, CycleRoutingResult, RoutingRequest, find_path
+
+__all__ = [
+    "RoutedPath",
+    "CapacityUsage",
+    "find_path",
+    "CycleRouter",
+    "CycleRoutingResult",
+    "RoutingRequest",
+    "route_edge_disjoint",
+    "can_route_simultaneously",
+    "max_simultaneous",
+]

@@ -1,0 +1,62 @@
+"""Edge-disjoint-path utilities.
+
+Two users:
+
+* the **EDPCI baseline** (Beverland et al., "Surface code compilation via
+  edge-disjoint paths") routes as many ready CNOT gates per cycle as it can
+  find mutually edge-disjoint paths for;
+* the **capacity theorem tests** check Theorem 2 of the paper — any
+  ``⌊(b-1)/2⌋ + 3`` independent CNOT gates can execute simultaneously on a
+  chip of bandwidth ``b`` — by exhibiting simultaneous routings for random
+  placements.
+
+The maximum-set computation is a greedy shortest-first heuristic with a
+rip-up pass (exact maximum EDP is NP-hard), which matches how the published
+EDPCI compiler operates in practice.
+"""
+
+from __future__ import annotations
+
+from repro.chip.routing_graph import Node, RoutingGraph
+from repro.routing.paths import CapacityUsage, RoutedPath
+from repro.routing.router import CycleRouter, RoutingRequest
+
+
+def route_edge_disjoint(
+    graph: RoutingGraph,
+    pairs: list[tuple[Node, Node]],
+    usage: CapacityUsage | None = None,
+    rip_up_rounds: int = 2,
+) -> tuple[dict[int, RoutedPath], list[int]]:
+    """Route as many of ``pairs`` as possible with capacity-respecting paths.
+
+    Pairs are indexed by their position in the input list.  Returns the routed
+    paths by index and the list of indices that could not be routed this cycle.
+    Shorter source-target separations are attempted first, which is the usual
+    greedy order for edge-disjoint path packing.
+    """
+    router = CycleRouter(graph, congestion_weight=0.25, rip_up_rounds=rip_up_rounds)
+    order = sorted(
+        range(len(pairs)),
+        key=lambda idx: _slot_distance(pairs[idx][0], pairs[idx][1]),
+    )
+    requests = [RoutingRequest(gate_node=idx, source=pairs[idx][0], target=pairs[idx][1]) for idx in order]
+    result = router.route_cycle(requests, usage=usage)
+    return result.routed, sorted(result.failed)
+
+
+def can_route_simultaneously(graph: RoutingGraph, pairs: list[tuple[Node, Node]]) -> bool:
+    """True when every pair can be routed in the same cycle."""
+    routed, failed = route_edge_disjoint(graph, pairs)
+    return not failed and len(routed) == len(pairs)
+
+
+def max_simultaneous(graph: RoutingGraph, pairs: list[tuple[Node, Node]]) -> int:
+    """Number of pairs the greedy EDP router fits into one cycle."""
+    routed, _ = route_edge_disjoint(graph, pairs)
+    return len(routed)
+
+
+def _slot_distance(a: Node, b: Node) -> int:
+    """Manhattan distance between two tile nodes (used for greedy ordering)."""
+    return abs(a[1] - b[1]) + abs(a[2] - b[2])

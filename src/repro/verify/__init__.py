@@ -1,0 +1,5 @@
+"""Schedule validation utilities."""
+
+from repro.verify.validator import ValidationReport, validate_encoded_circuit
+
+__all__ = ["ValidationReport", "validate_encoded_circuit"]

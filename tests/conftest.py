@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chip import Chip, SurfaceCodeModel
+from repro.circuits import Circuit
+from repro.circuits.generators import standard
+
+
+@pytest.fixture
+def bell_circuit() -> Circuit:
+    """Two qubits, one CNOT."""
+    circuit = Circuit(2, name="bell")
+    circuit.add_single("h", 0)
+    circuit.cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def chain_circuit() -> Circuit:
+    """A five-qubit CNOT chain (fully sequential)."""
+    circuit = Circuit(5, name="chain")
+    for qubit in range(4):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+@pytest.fixture
+def parallel_circuit() -> Circuit:
+    """Three independent CNOTs followed by a dependent layer (Fig. 6a-like)."""
+    circuit = Circuit(6, name="parallel")
+    circuit.cx(0, 1)
+    circuit.cx(2, 3)
+    circuit.cx(4, 5)
+    circuit.cx(1, 2)
+    circuit.cx(3, 4)
+    return circuit
+
+
+@pytest.fixture
+def triangle_circuit() -> Circuit:
+    """A circuit whose communication graph is an odd (non-bipartite) cycle."""
+    circuit = Circuit(3, name="triangle")
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.cx(2, 0)
+    return circuit
+
+
+@pytest.fixture
+def ghz8() -> Circuit:
+    """An eight-qubit GHZ chain."""
+    return standard.ghz_state(8)
+
+
+@pytest.fixture
+def dd_chip_small() -> Chip:
+    """Minimum viable double defect chip for 8 qubits (d = 3)."""
+    return Chip.minimum_viable(SurfaceCodeModel.DOUBLE_DEFECT, 8, 3)
+
+
+@pytest.fixture
+def ls_chip_small() -> Chip:
+    """Minimum viable lattice surgery chip for 8 qubits (d = 3)."""
+    return Chip.minimum_viable(SurfaceCodeModel.LATTICE_SURGERY, 8, 3)

@@ -1,0 +1,70 @@
+"""Tests for the ablation configurations behind Tables II-V."""
+
+import pytest
+
+from repro.baselines import (
+    compile_with_cut_initialisation,
+    compile_with_cut_scheduling,
+    compile_with_gate_order,
+    compile_with_location_strategy,
+)
+from repro.circuits.generators import standard
+from repro.verify import validate_encoded_circuit
+
+
+@pytest.fixture(scope="module")
+def qft8():
+    return standard.qft(8)
+
+
+@pytest.fixture(scope="module")
+def dnn8():
+    return standard.dnn(8, layers=4)
+
+
+class TestLocationAblation:
+    def test_all_strategies_produce_valid_schedules(self, qft8):
+        for strategy in ("trivial", "metis", "ecmas"):
+            encoded = compile_with_location_strategy(qft8, strategy)
+            validate_encoded_circuit(qft8, encoded).raise_if_invalid()
+            assert strategy in encoded.method
+
+    def test_ours_not_worse_than_trivial_on_clustered_circuit(self, dnn8):
+        trivial = compile_with_location_strategy(dnn8, "trivial")
+        ours = compile_with_location_strategy(dnn8, "ecmas")
+        assert ours.num_cycles <= trivial.num_cycles + 2
+
+
+class TestCutInitialisationAblation:
+    def test_all_initialisations_produce_valid_schedules(self, qft8):
+        for initialisation in ("random", "maxcut", "bipartite_prefix"):
+            encoded = compile_with_cut_initialisation(qft8, initialisation)
+            validate_encoded_circuit(qft8, encoded).raise_if_invalid()
+
+    def test_ours_beats_random_on_bipartite_circuit(self):
+        circuit = standard.ghz_state(12)
+        random_init = compile_with_cut_initialisation(circuit, "random", seed=1)
+        ours = compile_with_cut_initialisation(circuit, "bipartite_prefix")
+        assert ours.num_cycles <= random_init.num_cycles
+
+
+class TestGateOrderAblation:
+    def test_both_orders_valid_and_ours_not_worse(self, dnn8):
+        circuit_order = compile_with_gate_order(dnn8, "circuit_order")
+        ours = compile_with_gate_order(dnn8, "criticality")
+        validate_encoded_circuit(dnn8, circuit_order).raise_if_invalid()
+        validate_encoded_circuit(dnn8, ours).raise_if_invalid()
+        assert ours.num_cycles <= circuit_order.num_cycles + 2
+
+
+class TestCutSchedulingAblation:
+    def test_all_strategies_valid(self, qft8):
+        for strategy in ("channel_first", "time_first", "adaptive"):
+            encoded = compile_with_cut_scheduling(qft8, strategy)
+            validate_encoded_circuit(qft8, encoded).raise_if_invalid()
+
+    def test_adaptive_not_worse_than_both_fixed_strategies(self, qft8):
+        channel = compile_with_cut_scheduling(qft8, "channel_first")
+        time_first = compile_with_cut_scheduling(qft8, "time_first")
+        adaptive = compile_with_cut_scheduling(qft8, "adaptive")
+        assert adaptive.num_cycles <= max(channel.num_cycles, time_first.num_cycles)

@@ -1,0 +1,78 @@
+"""Tests for the AutoBraid, Braidflash and EDPCI baseline compilers."""
+
+import pytest
+
+from repro import Chip, SurfaceCodeModel, compile_circuit
+from repro.baselines import compile_autobraid, compile_braidflash, compile_edpci
+from repro.circuits.generators import standard
+from repro.errors import SchedulingError
+from repro.verify import validate_encoded_circuit
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+
+class TestAutoBraid:
+    def test_sequential_circuit_costs_three_per_gate(self, ghz8):
+        encoded = compile_autobraid(ghz8)
+        assert encoded.num_cycles == 3 * ghz8.depth()
+        validate_encoded_circuit(ghz8, encoded).raise_if_invalid()
+
+    def test_never_modifies_cut_types(self, ghz8):
+        encoded = compile_autobraid(ghz8)
+        assert encoded.num_cut_modifications == 0
+
+    def test_rejects_lattice_surgery_chip(self, ghz8):
+        with pytest.raises(SchedulingError):
+            compile_autobraid(ghz8, chip=Chip.minimum_viable(LS, 8, 3))
+
+    def test_ecmas_beats_autobraid(self):
+        for factory in (lambda: standard.qft(8), lambda: standard.dnn(8, layers=3), lambda: standard.cuccaro_adder(10)):
+            circuit = factory()
+            autobraid = compile_autobraid(circuit)
+            ecmas = compile_circuit(circuit, model=DD, resources="minimum", scheduler="limited")
+            assert ecmas.num_cycles < autobraid.num_cycles
+
+
+class TestBraidflash:
+    def test_valid_schedule_and_three_cycle_gates(self, ghz8):
+        encoded = compile_braidflash(ghz8)
+        assert encoded.num_cycles >= 3 * ghz8.depth()
+        validate_encoded_circuit(ghz8, encoded).raise_if_invalid()
+
+    def test_autobraid_not_worse_than_braidflash(self):
+        circuit = standard.dnn(8, layers=3)
+        assert compile_autobraid(circuit).num_cycles <= compile_braidflash(circuit).num_cycles + 3
+
+    def test_rejects_lattice_surgery_chip(self, ghz8):
+        with pytest.raises(SchedulingError):
+            compile_braidflash(ghz8, chip=Chip.minimum_viable(LS, 8, 3))
+
+
+class TestEdpci:
+    def test_sequential_circuit_reaches_depth(self, ghz8):
+        encoded = compile_edpci(ghz8)
+        assert encoded.num_cycles == ghz8.depth()
+        validate_encoded_circuit(ghz8, encoded).raise_if_invalid()
+
+    def test_rejects_double_defect_chip(self, ghz8):
+        with pytest.raises(SchedulingError):
+            compile_edpci(ghz8, chip=Chip.minimum_viable(DD, 8, 3))
+
+    def test_uses_trivial_snake_mapping(self, ghz8):
+        encoded = compile_edpci(ghz8)
+        # Snake mapping: qubit 0 in the top-left corner.
+        slot = encoded.placement.slot_of(0)
+        assert (slot.row, slot.col) == (0, 0)
+
+    def test_ecmas_not_worse_on_high_parallelism(self):
+        circuit = standard.dnn(16, layers=3)
+        edpci = compile_edpci(circuit)
+        ecmas = compile_circuit(circuit, model=LS, resources="minimum", scheduler="limited")
+        assert ecmas.num_cycles <= edpci.num_cycles
+
+    def test_edpci_4x_chip_not_worse_than_minimum(self):
+        circuit = standard.dnn(16, layers=3)
+        minimum = compile_edpci(circuit)
+        four_x = compile_edpci(circuit, chip=Chip.four_x(LS, 16, 3))
+        assert four_x.num_cycles <= minimum.num_cycles

@@ -1,0 +1,118 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.gate import Gate, cnot
+from repro.errors import CircuitError
+
+
+def test_empty_circuit_properties():
+    circuit = Circuit(3)
+    assert circuit.num_qubits == 3
+    assert len(circuit) == 0
+    assert circuit.num_cnots == 0
+    assert circuit.depth() == 0
+
+
+def test_circuit_requires_positive_qubits():
+    with pytest.raises(CircuitError):
+        Circuit(0)
+
+
+def test_append_validates_qubit_range():
+    circuit = Circuit(2)
+    with pytest.raises(CircuitError):
+        circuit.append(cnot(0, 5))
+
+
+def test_cx_and_depth_counting():
+    circuit = Circuit(3)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    circuit.cx(0, 1)
+    assert circuit.num_cnots == 3
+    assert circuit.depth() == 3
+
+
+def test_depth_ignores_single_qubit_gates_by_default():
+    circuit = Circuit(2)
+    circuit.add_single("h", 0)
+    circuit.add_single("h", 0)
+    circuit.cx(0, 1)
+    assert circuit.depth() == 1
+    assert circuit.depth(cnot_only=False) == 3
+
+
+def test_parallel_gates_share_depth():
+    circuit = Circuit(4)
+    circuit.cx(0, 1)
+    circuit.cx(2, 3)
+    assert circuit.depth() == 1
+
+
+def test_cnot_circuit_extracts_only_cnots():
+    circuit = Circuit(2)
+    circuit.add_single("h", 0)
+    circuit.cx(0, 1)
+    circuit.add_single("x", 1)
+    cnot_only = circuit.cnot_circuit()
+    assert len(cnot_only) == 1
+    assert cnot_only[0].is_cnot
+
+
+def test_gate_indices_follow_program_order():
+    circuit = Circuit(3)
+    circuit.cx(0, 1)
+    circuit.cx(1, 2)
+    assert [g.index for g in circuit] == [0, 1]
+
+
+def test_used_qubits_and_gate_counts():
+    circuit = Circuit(5)
+    circuit.cx(0, 3)
+    circuit.add_single("h", 3)
+    assert circuit.used_qubits() == {0, 3}
+    assert circuit.gate_counts() == {"cx": 1, "h": 1}
+
+
+def test_remapped_circuit():
+    circuit = Circuit(2, name="orig")
+    circuit.cx(0, 1)
+    remapped = circuit.remapped({0: 1, 1: 0})
+    assert remapped[0].qubits == (1, 0)
+
+
+def test_compose_concatenates_and_grows():
+    a = Circuit(2)
+    a.cx(0, 1)
+    b = Circuit(3)
+    b.cx(1, 2)
+    combined = a.compose(b)
+    assert combined.num_qubits == 3
+    assert combined.num_cnots == 2
+
+
+def test_equality_depends_on_gates_not_name():
+    a = Circuit(2, name="a")
+    a.cx(0, 1)
+    b = Circuit(2, name="b")
+    b.cx(0, 1)
+    assert a == b
+    b.cx(1, 0)
+    assert a != b
+
+
+def test_copy_is_independent():
+    a = Circuit(2)
+    a.cx(0, 1)
+    b = a.copy()
+    b.cx(1, 0)
+    assert len(a) == 1
+    assert len(b) == 2
+
+
+def test_extend_appends_fresh_gate_objects():
+    circuit = Circuit(3)
+    circuit.extend([Gate("cx", (0, 1)), Gate("cx", (1, 2))])
+    assert circuit.num_cnots == 2

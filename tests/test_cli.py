@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.circuits import qasm
+from repro.circuits.generators import standard
+from repro.cli import build_parser, main
+
+
+def test_profile_builtin_benchmark(capsys):
+    assert main(["profile", "qft_n10"]) == 0
+    out = capsys.readouterr().out
+    assert "CNOT depth" in out
+    assert "parallelism PM" in out
+
+
+def test_profile_qasm_file(tmp_path, capsys):
+    path = tmp_path / "ghz.qasm"
+    qasm.dump(standard.ghz_state(5), path)
+    assert main(["profile", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "logical qubits : 5" in out
+
+
+def test_compile_ecmas_default(capsys):
+    assert main(["compile", "ghz_state_n23", "--model", "ls", "--scheduler", "limited"]) == 0
+    out = capsys.readouterr().out
+    assert "schedule valid  : True" in out
+    assert "cycles          : 22" in out
+
+
+def test_compile_with_baseline_method(capsys):
+    assert main(["compile", "bv_n10", "--method", "autobraid"]) == 0
+    out = capsys.readouterr().out
+    assert "autobraid" in out
+
+
+def test_compile_with_placement_and_timeline(capsys):
+    assert main(["compile", "dnn_n8", "--scheduler", "limited", "--show-placement", "--timeline", "3", "--gantt"]) == 0
+    out = capsys.readouterr().out
+    assert "chip:" in out
+    assert "cycle    0" in out or "cycle 0" in out.replace("   ", " ")
+    assert "occupancy" in out
+
+
+def test_table_command(capsys):
+    assert main(["table", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "circuit_order" in out
+
+
+def test_suite_command(capsys):
+    assert main(["suite"]) == 0
+    out = capsys.readouterr().out
+    assert "dnn_n8" in out
+    assert "quantum_walk_n11" not in out
+    assert main(["suite", "--large"]) == 0
+    assert "quantum_walk_n11" in capsys.readouterr().out
+
+
+def test_unknown_benchmark_returns_error(capsys):
+    assert main(["profile", "not_a_benchmark"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

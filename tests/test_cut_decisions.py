@@ -1,0 +1,92 @@
+"""Tests for the M-value cut-type scheduling decisions."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.core.cut_decisions import (
+    CutContext,
+    adaptive_strategy,
+    channel_first_strategy,
+    get_strategy,
+    m_value,
+    never_modify_strategy,
+    time_first_strategy,
+)
+from repro.core.cut_types import CutType, uniform_cut_types
+
+
+def _context(idle_a=0, idle_b=0, ready_count=1, bandwidth=1, extra_gates=()):
+    """A two-qubit, one-gate context plus optional follow-up gates on qubit 0."""
+    circuit = Circuit(4)
+    circuit.cx(0, 1)
+    for a, b in extra_gates:
+        circuit.cx(a, b)
+    dag = circuit.dag()
+    return CutContext(
+        dag=dag,
+        node=0,
+        qubit_a=0,
+        qubit_b=1,
+        cut_types=uniform_cut_types(4),
+        idle_a=idle_a,
+        idle_b=idle_b,
+        ready_count=ready_count,
+        bandwidth=bandwidth,
+        num_qubits=4,
+    )
+
+
+def test_remaining_modification_overlaps_idle_time():
+    context = _context(idle_a=2, idle_b=0)
+    assert context.remaining_modification(0) == 1
+    assert context.remaining_modification(1) == 3
+
+
+def test_theta_adapts_to_congestion():
+    assert _context(ready_count=8).theta() > _context(ready_count=1).theta()
+    assert _context(bandwidth=4).theta() < _context(bandwidth=1).theta()
+
+
+def test_m_value_negative_when_tile_long_idle():
+    # A fully overlapped modification (idle >= 3) completes "for free": total
+    # time 1 cycle vs 3 cycles direct, so Mt = -2 and modification wins.
+    context = _context(idle_a=5)
+    assert m_value(context, 0) < 0
+    assert adaptive_strategy(context).modify
+    assert adaptive_strategy(context).qubit == 0
+
+
+def test_adaptive_prefers_direct_when_no_idle_and_no_benefit():
+    context = _context(idle_a=0, idle_b=0, ready_count=1)
+    decision = adaptive_strategy(context)
+    assert not decision.modify
+
+
+def test_adaptive_considers_children_channel_impact():
+    # Qubit 0 has two follow-up CNOTs with partners of the same cut type, so
+    # flipping qubit 0 helps them too; under congestion (large theta) the
+    # channel term should drive modification even without idle time.
+    context = _context(idle_a=0, idle_b=0, ready_count=10, bandwidth=1, extra_gates=((0, 2), (0, 3)))
+    decision = adaptive_strategy(context)
+    assert decision.modify
+
+
+def test_time_first_only_modifies_when_faster():
+    assert not time_first_strategy(_context(idle_a=0, idle_b=0)).modify
+    assert time_first_strategy(_context(idle_a=3)).modify
+
+
+def test_channel_first_always_modifies():
+    decision = channel_first_strategy(_context())
+    assert decision.modify
+    assert decision.qubit in (0, 1)
+
+
+def test_never_modify():
+    assert not never_modify_strategy(_context(idle_a=10)).modify
+
+
+def test_get_strategy_lookup():
+    assert get_strategy("adaptive") is adaptive_strategy
+    with pytest.raises(KeyError):
+        get_strategy("bogus")

@@ -1,0 +1,87 @@
+"""Tests for cut-type initialisation strategies."""
+
+from repro.circuits import Circuit
+from repro.circuits.generators import standard
+from repro.core.cut_types import (
+    CutType,
+    bipartite_prefix_cut_types,
+    count_single_cycle_gates,
+    cut_types_from_bipartition,
+    maxcut_cut_types,
+    random_cut_types,
+    uniform_cut_types,
+)
+
+
+def test_cut_type_flip():
+    assert CutType.X.flipped() is CutType.Z
+    assert CutType.Z.flipped() is CutType.X
+
+
+def test_uniform_assignment():
+    assignment = uniform_cut_types(5, CutType.Z)
+    assert set(assignment.values()) == {CutType.Z}
+    assert len(assignment) == 5
+
+
+def test_random_assignment_seeded():
+    assert random_cut_types(20, seed=3) == random_cut_types(20, seed=3)
+
+
+def test_bipartite_circuit_gets_perfect_initialisation(ghz8):
+    dag = ghz8.dag()
+    assignment = bipartite_prefix_cut_types(dag, 8)
+    # GHZ's communication graph is a path (bipartite): every CNOT should be
+    # executable in one cycle.
+    assert count_single_cycle_gates(dag, assignment) == len(dag)
+
+
+def test_dnn_ansatz_bipartite_initialisation():
+    circuit = standard.dnn(8, layers=2)
+    dag = circuit.dag()
+    assignment = bipartite_prefix_cut_types(dag, 8)
+    assert count_single_cycle_gates(dag, assignment) == len(dag)
+
+
+def test_non_bipartite_prefix_prioritises_early_gates(triangle_circuit):
+    dag = triangle_circuit.dag()
+    assignment = bipartite_prefix_cut_types(dag, 3)
+    # The first two gates (0-1, 1-2) must be single-cycle; the closing edge of
+    # the odd cycle cannot be.
+    assert assignment[dag.gate(0).control] != assignment[dag.gate(0).target]
+    assert assignment[dag.gate(1).control] != assignment[dag.gate(1).target]
+    assert count_single_cycle_gates(dag, assignment) == 2
+
+
+def test_cut_types_from_bipartition_covers_all_qubits():
+    assignment = cut_types_from_bipartition(({0, 2}, {1}), 4)
+    assert assignment[0] is CutType.X
+    assert assignment[1] is CutType.Z
+    assert assignment[3] is CutType.X  # unassigned qubits default to X
+
+
+def test_maxcut_beats_random_on_bipartite_graph():
+    circuit = standard.ghz_state(12)
+    graph = circuit.communication_graph()
+    dag = circuit.dag()
+    maxcut = count_single_cycle_gates(dag, maxcut_cut_types(graph, seed=0))
+    random_score = count_single_cycle_gates(dag, random_cut_types(12, seed=0))
+    # One-exchange local search is a heuristic: it should clearly beat a
+    # random assignment but may stop short of the perfect 2-colouring.
+    assert maxcut >= random_score
+    assert maxcut >= 0.7 * len(dag)
+
+
+def test_prefix_beats_maxcut_on_front_of_circuit():
+    # Construct a circuit where max-cut optimises late gates at the expense of
+    # the first gate's pair: many repeated CNOTs late between 0-1 ... the
+    # bipartite prefix must still make the *first* gates single-cycle.
+    circuit = Circuit(4)
+    circuit.cx(0, 1)
+    circuit.cx(2, 3)
+    circuit.cx(1, 2)
+    circuit.cx(0, 3)
+    dag = circuit.dag()
+    assignment = bipartite_prefix_cut_types(dag, 4)
+    assert assignment[0] != assignment[1]
+    assert assignment[2] != assignment[3]

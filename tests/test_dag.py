@@ -1,0 +1,128 @@
+"""Unit tests for the CNOT dependency DAG."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.circuits.dag import GateDAG
+from repro.circuits.gate import Gate, cnot, single
+from repro.errors import CircuitError
+
+
+def _chain(n: int) -> Circuit:
+    circuit = Circuit(n)
+    for i in range(n - 1):
+        circuit.cx(i, i + 1)
+    return circuit
+
+
+def test_dag_rejects_non_cnot_gates():
+    with pytest.raises(CircuitError):
+        GateDAG(2, [single("h", 0)])
+
+
+def test_chain_dependencies():
+    dag = _chain(4).dag()
+    assert dag.num_gates == 3
+    assert dag.predecessors(0) == ()
+    assert dag.successors(0) == (1,)
+    assert dag.predecessors(2) == (1,)
+    assert dag.depth() == 3
+
+
+def test_parallel_gates_have_no_edges(parallel_circuit):
+    dag = parallel_circuit.dag()
+    assert dag.predecessors(0) == ()
+    assert dag.predecessors(1) == ()
+    assert dag.predecessors(2) == ()
+    # Fourth gate (1,2) depends on gates 0 and 1.
+    assert set(dag.predecessors(3)) == {0, 1}
+    assert dag.depth() == 2
+
+
+def test_asap_alap_and_slack(parallel_circuit):
+    dag = parallel_circuit.dag()
+    assert dag.asap_level(0) == 1
+    assert dag.asap_level(3) == 2
+    assert dag.alap_level(3) == 2
+    # Gate 2 (4,5) is only a parent of gate 4, so it could run in layer 1.
+    assert dag.asap_level(2) == 1
+    assert dag.alap_level(2) == 1
+    for node in range(len(dag)):
+        assert dag.slack(node) >= 0
+
+
+def test_criticality_of_chain():
+    dag = _chain(5).dag()
+    assert dag.criticality(0) == 4
+    assert dag.criticality(3) == 1
+
+
+def test_descendant_count_chain():
+    dag = _chain(5).dag()
+    assert dag.descendant_count(0) == 3
+    assert dag.descendant_count(3) == 0
+
+
+def test_topological_order_respects_dependencies(ghz8):
+    dag = ghz8.dag()
+    position = {node: i for i, node in enumerate(dag.topological_order())}
+    for node in range(len(dag)):
+        for succ in dag.successors(node):
+            assert position[node] < position[succ]
+
+
+def test_asap_layers_partition_all_nodes(ghz8):
+    dag = ghz8.dag()
+    layers = dag.asap_layers()
+    flat = [node for layer in layers for node in layer]
+    assert sorted(flat) == list(range(len(dag)))
+
+
+def test_sources_and_sinks(parallel_circuit):
+    dag = parallel_circuit.dag()
+    assert set(dag.sources()) == {0, 1, 2}
+    assert set(dag.sinks()) == {3, 4}
+
+
+def test_to_networkx_roundtrip(parallel_circuit):
+    graph = parallel_circuit.dag().to_networkx()
+    assert graph.number_of_nodes() == 5
+    assert graph.has_edge(0, 3)
+
+
+class TestDagFrontier:
+    def test_initial_ready_set(self, parallel_circuit):
+        frontier = parallel_circuit.dag().frontier()
+        assert set(frontier.ready_nodes()) == {0, 1, 2}
+        assert frontier.num_remaining == 5
+        assert not frontier.is_done()
+
+    def test_complete_unlocks_successors(self, parallel_circuit):
+        frontier = parallel_circuit.dag().frontier()
+        newly = frontier.complete(0)
+        assert newly == ()
+        newly = frontier.complete(1)
+        assert newly == (3,)
+        assert frontier.is_ready(3)
+
+    def test_complete_twice_raises(self, parallel_circuit):
+        frontier = parallel_circuit.dag().frontier()
+        frontier.complete(0)
+        with pytest.raises(CircuitError):
+            frontier.complete(0)
+
+    def test_complete_out_of_order_raises(self, parallel_circuit):
+        frontier = parallel_circuit.dag().frontier()
+        with pytest.raises(CircuitError):
+            frontier.complete(3)
+
+    def test_full_drain(self, ghz8):
+        dag = ghz8.dag()
+        frontier = dag.frontier()
+        completed = 0
+        while not frontier.is_done():
+            node = frontier.ready_nodes()[0]
+            frontier.complete(node)
+            completed += 1
+        assert completed == len(dag)
+        assert frontier.num_remaining == 0

@@ -1,0 +1,128 @@
+"""Tests for the evaluation harness (runner, tables, figures, report)."""
+
+import pytest
+
+from repro.chip import SurfaceCodeModel
+from repro.circuits.generators import get_benchmark
+from repro.errors import ReproError
+from repro.eval import (
+    TABLE1_METHODS,
+    figure11_parallelism,
+    figure12_chip_size,
+    format_sweep,
+    format_table,
+    run_method,
+    summarise_reduction,
+    table1_overview,
+    table2_location,
+    table3_cut_initialisation,
+    table4_gate_scheduling,
+    table5_cut_scheduling,
+)
+
+SMALL_SUITE = [get_benchmark(name) for name in ("dnn_n8", "ghz_state_n23", "ising_n10")]
+TINY_SUITE = [get_benchmark(name) for name in ("dnn_n8", "ghz_state_n23")]
+
+
+class TestRunner:
+    def test_run_method_records_fields(self):
+        circuit = get_benchmark("dnn_n8").build()
+        record = run_method(circuit, "ecmas_dd_min", circuit_name="dnn_n8", paper_cycles=48, validate=True)
+        assert record.circuit == "dnn_n8"
+        assert record.cycles > 0
+        assert record.compile_seconds > 0
+        assert record.relative_to_paper == pytest.approx(record.cycles / 48)
+
+    def test_unknown_method_raises(self):
+        circuit = get_benchmark("dnn_n8").build()
+        with pytest.raises(ReproError):
+            run_method(circuit, "not_a_method")
+
+    def test_all_table1_methods_runnable(self):
+        circuit = get_benchmark("ghz_state_n23").build()
+        for method in TABLE1_METHODS:
+            record = run_method(circuit, method)
+            assert record.cycles >= circuit.depth()
+
+
+class TestTables:
+    def test_table1_rows_and_trend(self):
+        rows = table1_overview(suite=SMALL_SUITE, validate=True)
+        assert len(rows) == 3
+        for row in rows:
+            assert row["autobraid"] >= row["ecmas_dd_min"]
+            assert row["ecmas_ls_min"] >= row["alpha"]
+        summary = summarise_reduction(rows, "autobraid", "ecmas_dd_min")
+        assert summary["count"] == 3
+        assert summary["average"] > 0.3
+
+    def test_table2_columns(self):
+        rows = table2_location(suite=TINY_SUITE)
+        assert {"trivial", "metis", "ours"} <= set(rows[0])
+
+    def test_table3_columns(self):
+        rows = table3_cut_initialisation(suite=TINY_SUITE)
+        for row in rows:
+            assert row["ours"] <= max(row["random"], row["maxcut"])
+
+    def test_table4_columns(self):
+        rows = table4_gate_scheduling(suite=TINY_SUITE)
+        assert {"circuit_order", "ours"} <= set(rows[0])
+
+    def test_table5_columns(self):
+        rows = table5_cut_scheduling(suite=TINY_SUITE)
+        for row in rows:
+            assert row["ours"] <= max(row["channel_first"], row["time_first"]) + 2
+
+
+class TestFigures:
+    def test_figure11_small_sweep(self):
+        points = figure11_parallelism(
+            SurfaceCodeModel.DOUBLE_DEFECT,
+            parallelisms=(1, 4),
+            group_size=1,
+            num_qubits=16,
+            depth=10,
+        )
+        assert len(points) == 4  # 2 parallelism values x 2 series
+        baseline = {p.x: p.cycles for p in points if p.series == "baseline"}
+        ecmas = {p.x: p.cycles for p in points if p.series == "ecmas"}
+        for x in baseline:
+            assert ecmas[x] <= baseline[x]
+
+    def test_figure12_small_sweep(self):
+        points = figure12_chip_size(
+            SurfaceCodeModel.LATTICE_SURGERY,
+            parallelisms=(4,),
+            bandwidths=(1, 2),
+            group_size=1,
+            num_qubits=16,
+            depth=10,
+        )
+        assert len(points) == 4
+        ecmas_points = sorted((p for p in points if p.series.startswith("ecmas")), key=lambda p: p.x)
+        assert ecmas_points[-1].cycles <= ecmas_points[0].cycles
+        assert all("compile_time_ratio" in p.extra for p in points)
+
+
+class TestReport:
+    def test_format_table_alignment_and_missing_values(self):
+        text = format_table([{"a": 1, "b": None}, {"a": 22, "b": 3.5}], title="T")
+        assert "T" in text
+        assert "-" in text.splitlines()[3]
+        assert "22" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([])
+
+    def test_format_sweep(self):
+        points = figure11_parallelism(
+            SurfaceCodeModel.LATTICE_SURGERY,
+            parallelisms=(1,),
+            group_size=1,
+            num_qubits=8,
+            depth=5,
+        )
+        text = format_sweep(points, title="fig")
+        assert "fig" in text
+        assert "cycles" in text

@@ -1,0 +1,59 @@
+"""Tests for the JSON/CSV export helpers."""
+
+import csv
+import io
+import json
+
+from repro.chip import SurfaceCodeModel
+from repro.eval import (
+    figure11_parallelism,
+    rows_to_csv,
+    rows_to_json,
+    sweep_to_csv,
+    sweep_to_json,
+    write_csv,
+    write_json,
+)
+
+ROWS = [
+    {"circuit": "a", "cycles": 10, "method": "ecmas"},
+    {"circuit": "b", "cycles": 20, "method": "ecmas", "note": "extra"},
+]
+
+
+def test_rows_to_json_roundtrip():
+    decoded = json.loads(rows_to_json(ROWS))
+    assert decoded[0]["circuit"] == "a"
+    assert decoded[1]["note"] == "extra"
+
+
+def test_rows_to_csv_union_of_columns():
+    text = rows_to_csv(ROWS)
+    reader = list(csv.DictReader(io.StringIO(text)))
+    assert reader[0]["cycles"] == "10"
+    assert set(reader[0].keys()) == {"circuit", "cycles", "method", "note"}
+    assert rows_to_csv([]) == ""
+
+
+def _small_sweep():
+    return figure11_parallelism(
+        SurfaceCodeModel.LATTICE_SURGERY, parallelisms=(1,), group_size=1, num_qubits=8, depth=5
+    )
+
+
+def test_sweep_serialisation():
+    points = _small_sweep()
+    decoded = json.loads(sweep_to_json(points))
+    assert {entry["series"] for entry in decoded} == {"baseline", "ecmas"}
+    text = sweep_to_csv(points)
+    assert "series" in text.splitlines()[0]
+
+
+def test_write_json_and_csv_files(tmp_path):
+    points = _small_sweep()
+    json_path = tmp_path / "sweep.json"
+    csv_path = tmp_path / "rows.csv"
+    write_json(json_path, points)
+    write_csv(csv_path, ROWS)
+    assert json.loads(json_path.read_text())
+    assert "circuit" in csv_path.read_text()

@@ -1,0 +1,80 @@
+"""Unit tests for the gate IR."""
+
+import pytest
+
+from repro.circuits.gate import Gate, GateKind, cnot, single
+from repro.errors import CircuitError
+
+
+def test_cnot_constructor_sets_control_and_target():
+    gate = cnot(2, 5)
+    assert gate.is_cnot
+    assert gate.control == 2
+    assert gate.target == 5
+    assert gate.kind is GateKind.CNOT
+
+
+def test_cnot_rejects_equal_operands():
+    with pytest.raises(CircuitError):
+        cnot(3, 3)
+
+
+def test_single_qubit_gate_kind():
+    gate = single("h", 0)
+    assert gate.kind is GateKind.SINGLE_QUBIT
+    assert not gate.is_cnot
+
+
+def test_single_gate_with_params_str():
+    gate = single("rz", 1, 0.5)
+    assert "rz" in str(gate)
+    assert "q1" in str(gate)
+
+
+def test_control_of_non_cnot_raises():
+    gate = single("x", 0)
+    with pytest.raises(CircuitError):
+        _ = gate.control
+    with pytest.raises(CircuitError):
+        _ = gate.target
+
+
+def test_gate_requires_qubits():
+    with pytest.raises(CircuitError):
+        Gate("h", ())
+
+
+def test_gate_rejects_duplicate_qubits():
+    with pytest.raises(CircuitError):
+        Gate("cx", (1, 1))
+
+
+def test_gate_rejects_negative_qubits():
+    with pytest.raises(CircuitError):
+        Gate("cx", (0, -1))
+
+
+def test_two_qubit_other_kind():
+    gate = Gate("cz", (0, 1))
+    assert gate.kind is GateKind.TWO_QUBIT_OTHER
+
+
+def test_measurement_and_barrier_kinds():
+    assert Gate("measure", (0,)).kind is GateKind.MEASUREMENT
+    assert Gate("barrier", (0, 1)).kind is GateKind.BARRIER
+
+
+def test_with_index_preserves_payload():
+    gate = cnot(0, 1).with_index(7)
+    assert gate.index == 7
+    assert gate.qubits == (0, 1)
+
+
+def test_remapped_translates_qubits():
+    gate = cnot(0, 1).remapped({0: 5, 1: 2})
+    assert gate.qubits == (5, 2)
+
+
+def test_remapped_missing_qubit_raises():
+    with pytest.raises(CircuitError):
+        cnot(0, 1).remapped({0: 5})

@@ -1,0 +1,153 @@
+"""Tests for the benchmark circuit generators and the Table I registry."""
+
+import pytest
+
+from repro.circuits.generators import (
+    TABLE1_SUITE,
+    default_suite,
+    get_benchmark,
+    parallelism_group,
+    random_parallel_circuit,
+    sensitivity_suite,
+    standard,
+)
+from repro.errors import CircuitError
+
+
+class TestStandardGenerators:
+    def test_ghz_structure(self):
+        circuit = standard.ghz_state(10)
+        assert circuit.num_qubits == 10
+        assert circuit.num_cnots == 9
+        assert circuit.depth() == 9
+
+    def test_bv_gate_count_matches_secret_weight(self):
+        circuit = standard.bernstein_vazirani(8, secret=0b1011)
+        assert circuit.num_cnots == 3
+
+    def test_bv_default_secret_all_ones(self):
+        circuit = standard.bernstein_vazirani(6)
+        assert circuit.num_cnots == 5
+
+    def test_qft_cnot_count(self):
+        # n(n-1)/2 controlled-phase gates, two CNOTs each.
+        circuit = standard.qft(6)
+        assert circuit.num_cnots == 2 * 15
+
+    def test_qft_with_swaps_adds_three_cnots_per_swap(self):
+        base = standard.qft(6).num_cnots
+        with_swaps = standard.qft(6, with_swaps=True).num_cnots
+        assert with_swaps == base + 3 * 3
+
+    def test_ising_parallel_structure(self):
+        circuit = standard.ising(10, layers=5)
+        assert circuit.num_cnots == 90
+        assert circuit.depth() == 20
+
+    def test_dnn_matches_paper_stats(self):
+        circuit = standard.dnn(8, layers=12)
+        assert circuit.num_cnots == 192
+        assert circuit.depth() == 48
+
+    def test_adder_depth_equals_paper(self):
+        circuit = standard.cuccaro_adder(10)
+        assert circuit.num_cnots == 65
+        assert circuit.depth() == 55
+
+    def test_swap_test_requires_odd_qubits(self):
+        with pytest.raises(CircuitError):
+            standard.swap_test(10)
+
+    def test_dnn_requires_even_qubits(self):
+        with pytest.raises(CircuitError):
+            standard.dnn(7)
+
+    def test_wstate_cnot_count(self):
+        circuit = standard.w_state(27)
+        assert circuit.num_cnots == 52
+
+    def test_generators_emit_primitive_gates_only(self):
+        allowed = {"cx", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "rx", "ry", "rz", "u1", "u2", "u3"}
+        for factory in (
+            lambda: standard.grover(7, iterations=2),
+            lambda: standard.qpe(6),
+            lambda: standard.sat(9, num_clauses=6),
+            lambda: standard.multiplier(9),
+            lambda: standard.square_root(7, iterations=2),
+            lambda: standard.qf21(9),
+            lambda: standard.multiply(13),
+            lambda: standard.quantum_walk(6, steps=3),
+            lambda: standard.shor(8, rounds=5),
+        ):
+            circuit = factory()
+            assert set(circuit.gate_counts()) <= allowed
+            assert circuit.num_cnots > 0
+
+
+class TestRandomParallelCircuits:
+    def test_depth_and_gate_count_by_construction(self):
+        circuit = random_parallel_circuit(20, depth=15, parallelism=4, seed=3)
+        assert circuit.depth() == 15
+        assert circuit.num_cnots == 15 * 4
+
+    def test_parallelism_estimate_tracks_target(self):
+        # The constructed layering has width exactly `parallelism`, so the true
+        # parallelism degree is at most that; the Para-Finding estimate may
+        # overshoot slightly (it is a heuristic) but must stay close.
+        from repro.core import circuit_parallelism_degree
+
+        circuit = random_parallel_circuit(30, depth=20, parallelism=6, seed=11)
+        estimate = circuit_parallelism_degree(circuit)
+        assert 4 <= estimate <= 8
+
+    def test_reproducible_with_seed(self):
+        a = random_parallel_circuit(16, 10, 3, seed=5)
+        b = random_parallel_circuit(16, 10, 3, seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_parallel_circuit(16, 10, 3, seed=1)
+        b = random_parallel_circuit(16, 10, 3, seed=2)
+        assert a != b
+
+    def test_rejects_too_many_parallel_gates(self):
+        with pytest.raises(CircuitError):
+            random_parallel_circuit(5, 10, 3)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(CircuitError):
+            random_parallel_circuit(10, 0, 1)
+        with pytest.raises(CircuitError):
+            random_parallel_circuit(10, 5, 0)
+
+    def test_group_size_and_seeding(self):
+        group = parallelism_group(12, 8, 2, group_size=4, seed=9)
+        assert len(group) == 4
+        assert len({tuple((g.control, g.target) for g in c.cnot_gates()) for c in group}) > 1
+
+
+class TestSuiteRegistry:
+    def test_every_spec_builds_with_declared_qubits(self):
+        for spec in default_suite():
+            circuit = spec.build()
+            assert circuit.num_qubits == spec.paper_n
+
+    def test_large_specs_excluded_by_default(self):
+        names = {spec.name for spec in default_suite()}
+        assert "quantum_walk_n11" not in names
+        assert "quantum_walk_n11" in {spec.name for spec in default_suite(include_large=True)}
+
+    def test_table1_has_22_rows(self):
+        assert len(TABLE1_SUITE) == 22
+
+    def test_sensitivity_suite_has_11_rows(self):
+        assert len(sensitivity_suite()) == 11
+
+    def test_get_benchmark_unknown_raises(self):
+        with pytest.raises(CircuitError):
+            get_benchmark("not_a_benchmark")
+
+    def test_paper_cycles_present_for_table1(self):
+        for spec in TABLE1_SUITE:
+            assert spec.paper_cycles is not None
+            assert spec.paper_cycles["autobraid"] >= spec.paper_cycles["ecmas_dd_min"] or spec.name == "bv_n10"

@@ -1,0 +1,100 @@
+"""Tests for the physical-qubit accounting."""
+
+import math
+
+import pytest
+
+from repro.chip import geometry
+from repro.chip.geometry import SurfaceCodeModel
+from repro.errors import ChipError
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+
+def test_tile_sides():
+    assert geometry.tile_side(DD, 3) == 6
+    assert geometry.tile_side(LS, 3) == math.ceil(math.sqrt(2) * 3)
+    assert geometry.tile_block_side(DD, 3) == 15
+    assert geometry.tile_block_side(LS, 3) == 2 * geometry.tile_side(LS, 3)
+
+
+def test_lane_widths():
+    assert geometry.lane_width(DD, 4) == pytest.approx(10.0)
+    assert geometry.lane_width(LS, 3) == pytest.approx(geometry.tile_side(LS, 3))
+
+
+def test_channel_bandwidth_floor():
+    assert geometry.channel_bandwidth(DD, 2, 12.0) == 2  # 12 / 5.0
+    assert geometry.channel_bandwidth(DD, 2, 4.9) == 0
+    with pytest.raises(ChipError):
+        geometry.channel_bandwidth(DD, 2, -1.0)
+
+
+def test_minimum_viable_side_formula():
+    # l = ceil(sqrt(n)) * 5d for double defect.
+    assert geometry.minimum_viable_side(DD, 8, 3) == 3 * 15
+    # l = ceil(sqrt(n)) * ceil(sqrt(2) d) for lattice surgery.
+    assert geometry.minimum_viable_side(LS, 8, 3) == 3 * geometry.tile_side(LS, 3)
+
+
+def test_four_x_side():
+    assert geometry.four_x_side(DD, 8, 3) == 2 * geometry.minimum_viable_side(DD, 8, 3)
+    assert geometry.four_x_side(LS, 8, 3) == 3 * 15  # the paper defines 4x LS as ceil(sqrt n) * 5d
+
+
+def test_communication_capacity_theorem2_formula():
+    assert geometry.communication_capacity(1) == 3
+    assert geometry.communication_capacity(2) == 3
+    assert geometry.communication_capacity(3) == 4
+    assert geometry.communication_capacity(5) == 5
+    with pytest.raises(ChipError):
+        geometry.communication_capacity(0)
+
+
+def test_sufficient_bandwidth_inverts_capacity():
+    for parallelism in range(1, 30):
+        bandwidth = geometry.sufficient_bandwidth(parallelism)
+        assert geometry.communication_capacity(bandwidth) >= parallelism
+        if bandwidth > 1:
+            assert geometry.communication_capacity(bandwidth - 2 if bandwidth > 2 else 1) < parallelism
+
+
+def test_uniform_bandwidths_minimum_chip_is_one():
+    side = geometry.minimum_viable_side(DD, 9, 3)
+    assert geometry.uniform_bandwidths(DD, 3, 3, side) == [1, 1, 1, 1]
+
+
+def test_uniform_bandwidths_grow_with_side():
+    tiles = 3
+    small = geometry.uniform_bandwidths(DD, 3, tiles, geometry.minimum_viable_side(DD, 9, 3))
+    large = geometry.uniform_bandwidths(DD, 3, tiles, 2 * geometry.minimum_viable_side(DD, 9, 3))
+    assert sum(large) > sum(small)
+
+
+def test_side_for_bandwidth_monotonic():
+    sides = [geometry.side_for_bandwidth(DD, 9, 3, b) for b in range(1, 6)]
+    assert sides == sorted(sides)
+    assert sides[0] >= geometry.minimum_viable_side(DD, 9, 3)
+
+
+def test_corridor_widths_requires_fitting_tiles():
+    with pytest.raises(ChipError):
+        geometry.corridor_widths(DD, 3, 4, 10)
+
+
+def test_total_physical_qubits():
+    assert geometry.total_physical_qubits(10) == 100
+    with pytest.raises(ChipError):
+        geometry.total_physical_qubits(0)
+
+
+def test_invalid_inputs_raise():
+    with pytest.raises(ChipError):
+        geometry.tile_side(DD, 0)
+    with pytest.raises(ChipError):
+        geometry.minimum_viable_side(DD, 0, 3)
+    with pytest.raises(ChipError):
+        geometry.sufficient_bandwidth(0)
+    with pytest.raises(ChipError):
+        geometry.side_for_bandwidth(DD, 4, 3, 0)

@@ -1,0 +1,109 @@
+"""Tests for the initial-mapping pipeline (shape, placement, bandwidth adjusting)."""
+
+import pytest
+
+from repro.chip import Chip, SurfaceCodeModel
+from repro.circuits.generators import standard
+from repro.core.cut_types import uniform_cut_types
+from repro.core.mapping import (
+    adjust_bandwidth,
+    build_initial_mapping,
+    corridor_load,
+    determine_shape,
+    establish_placement,
+)
+from repro.errors import MappingError
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+
+class TestShapeDetermining:
+    def test_eight_qubits_prefers_3x3(self):
+        chip = Chip.minimum_viable(DD, 8, 3)
+        assert determine_shape(8, chip) == (3, 3)
+
+    def test_exact_square(self):
+        chip = Chip.minimum_viable(DD, 9, 3)
+        assert determine_shape(9, chip) == (3, 3)
+
+    def test_rectangular_when_square_impossible(self):
+        chip = Chip.with_tile_array(DD, 3, 2, 4)
+        assert determine_shape(7, chip) == (2, 4)
+
+    def test_too_many_qubits_raises(self):
+        chip = Chip.with_tile_array(DD, 3, 2, 2)
+        with pytest.raises(MappingError):
+            determine_shape(5, chip)
+
+
+class TestEstablishPlacement:
+    def test_all_strategies_produce_valid_placements(self):
+        graph = standard.qft(8).communication_graph()
+        for strategy in ("ecmas", "metis", "trivial", "spectral", "random"):
+            placement = establish_placement(graph, (3, 3), strategy=strategy)
+            assert placement.num_qubits() == 8
+            assert len(placement.slots()) == 8
+
+    def test_unknown_strategy_raises(self):
+        graph = standard.qft(4).communication_graph()
+        with pytest.raises(MappingError):
+            establish_placement(graph, (2, 2), strategy="nope")
+
+
+class TestBandwidthAdjusting:
+    def test_minimum_chip_unchanged(self):
+        circuit = standard.qft(9)
+        chip = Chip.minimum_viable(DD, 9, 3)
+        graph = circuit.communication_graph()
+        placement = establish_placement(graph, (3, 3))
+        assert adjust_bandwidth(chip, placement, graph) == chip
+
+    def test_larger_chip_redistributes_towards_load(self):
+        circuit = standard.dnn(16, layers=4)
+        chip = Chip.four_x(DD, 16, 3)
+        graph = circuit.communication_graph()
+        placement = establish_placement(graph, (4, 4))
+        adjusted = adjust_bandwidth(chip, placement, graph)
+        h_budget, v_budget = chip.lane_budget_per_axis()
+        assert sum(adjusted.h_bandwidths) <= h_budget
+        assert sum(adjusted.v_bandwidths) <= v_budget
+        assert min(adjusted.h_bandwidths + adjusted.v_bandwidths) >= 1
+        # The adjusted chip should concentrate lanes at least as much as the
+        # uniform layout does on its busiest corridor.
+        assert max(adjusted.h_bandwidths) >= max(chip.h_bandwidths)
+
+    def test_corridor_load_counts_non_adjacent_traffic(self):
+        # QFT is all-to-all, so many pairs sit on non-adjacent tiles and their
+        # pre-routed paths must cross corridors.  (CNOTs between adjacent
+        # tiles route through the shared corner and add no corridor load.)
+        circuit = standard.qft(9)
+        chip = Chip.minimum_viable(DD, 9, 3)
+        graph = circuit.communication_graph()
+        placement = establish_placement(graph, (3, 3), strategy="trivial")
+        h_load, v_load = corridor_load(chip, placement, graph)
+        assert sum(h_load.values()) + sum(v_load.values()) > 0
+
+
+class TestBuildInitialMapping:
+    def test_full_pipeline_double_defect(self):
+        circuit = standard.qft(8)
+        chip = Chip.minimum_viable(DD, 8, 3)
+        mapping = build_initial_mapping(circuit, chip, uniform_cut_types(8))
+        assert mapping.shape == (3, 3)
+        assert mapping.placement.num_qubits() == 8
+        assert mapping.cut_types is not None
+        assert mapping.mapping_cost >= 0
+
+    def test_full_pipeline_lattice_surgery_without_cuts(self):
+        circuit = standard.qft(8)
+        chip = Chip.minimum_viable(LS, 8, 3)
+        mapping = build_initial_mapping(circuit, chip, None)
+        assert mapping.cut_types is None
+        mapping.placement.validate(chip)
+
+    def test_adjust_flag_disables_bandwidth_changes(self):
+        circuit = standard.dnn(16, layers=4)
+        chip = Chip.four_x(DD, 16, 3)
+        mapping = build_initial_mapping(circuit, chip, uniform_cut_types(16), adjust=False)
+        assert mapping.chip == chip

@@ -1,0 +1,91 @@
+"""Tests for Para-Finding and the chip communication capacity."""
+
+import pytest
+
+from repro.chip import Chip, SurfaceCodeModel
+from repro.circuits import Circuit
+from repro.circuits.generators import random_parallel_circuit, standard
+from repro.core.metrics import (
+    asap_parallelism,
+    chip_communication_capacity,
+    circuit_parallelism_degree,
+    has_sufficient_resources,
+    para_finding,
+)
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+
+
+def _scheme_is_valid(dag, scheme):
+    layer_of = {}
+    for index, layer in enumerate(scheme.layers):
+        for node in layer:
+            layer_of[node] = index
+    assert sorted(layer_of) == list(range(len(dag)))
+    for node in range(len(dag)):
+        for succ in dag.successors(node):
+            assert layer_of[succ] > layer_of[node]
+    return True
+
+
+def test_empty_circuit_parallelism_zero():
+    circuit = Circuit(2)
+    assert circuit_parallelism_degree(circuit) == 0
+
+
+def test_chain_parallelism_is_one(chain_circuit):
+    assert circuit_parallelism_degree(chain_circuit) == 1
+
+
+def test_fully_parallel_layer():
+    circuit = Circuit(8)
+    for i in range(0, 8, 2):
+        circuit.cx(i, i + 1)
+    assert circuit_parallelism_degree(circuit) == 4
+
+
+def test_para_finding_scheme_valid_and_depth_preserving(parallel_circuit):
+    dag = parallel_circuit.dag()
+    scheme = para_finding(dag)
+    assert scheme.depth == dag.depth()
+    assert _scheme_is_valid(dag, scheme)
+
+
+def test_para_finding_balances_better_than_asap():
+    # Para-Finding should never be worse than the greedy ASAP layering.
+    for seed in range(3):
+        circuit = random_parallel_circuit(20, 15, 4, seed=seed)
+        assert circuit_parallelism_degree(circuit) <= asap_parallelism(circuit) + 1
+
+
+def test_para_finding_on_benchmarks_is_valid():
+    for factory in (lambda: standard.qft(8), lambda: standard.cuccaro_adder(8), lambda: standard.dnn(8, layers=4)):
+        circuit = factory()
+        dag = circuit.dag()
+        scheme = para_finding(dag)
+        assert _scheme_is_valid(dag, scheme)
+        assert scheme.parallelism >= 1
+
+
+def test_dnn_parallelism_matches_construction():
+    # Each ansatz block applies n/2 disjoint CNOTs at a time.
+    assert circuit_parallelism_degree(standard.dnn(8, layers=2)) == 4
+
+
+def test_layer_of_lookup(parallel_circuit):
+    scheme = para_finding(parallel_circuit.dag())
+    assert scheme.layer_of(scheme.layers[0][0]) == 0
+
+
+def test_chip_communication_capacity_matches_formula():
+    assert chip_communication_capacity(Chip.minimum_viable(DD, 9, 3)) == 3
+    assert chip_communication_capacity(Chip.for_bandwidth(DD, 9, 3, 5)) >= 5
+
+
+def test_has_sufficient_resources_dispatch(chain_circuit):
+    chip = Chip.minimum_viable(DD, 5, 3)
+    assert has_sufficient_resources(chain_circuit, chip)
+    wide = Circuit(10)
+    for i in range(0, 10, 2):
+        wide.cx(i, i + 1)
+    assert not has_sufficient_resources(wide, Chip.minimum_viable(DD, 10, 3))

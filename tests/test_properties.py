@@ -1,0 +1,131 @@
+"""Hypothesis property-based tests on the core data structures and pipeline.
+
+These exercise invariants rather than specific values:
+
+* DAG layering invariants (ASAP ≤ ALAP, edges cross layers forwards),
+* Para-Finding produces a legal, depth-preserving execution scheme,
+* QASM round-trips preserve the CNOT structure for arbitrary random circuits,
+* every compiled schedule (both models, Ecmas and baselines) passes the
+  validator and never beats the circuit depth lower bound.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import SurfaceCodeModel, compile_circuit
+from repro.baselines import compile_autobraid, compile_edpci
+from repro.circuits import Circuit, qasm
+from repro.core.metrics import para_finding
+from repro.verify import validate_encoded_circuit
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+
+@st.composite
+def random_cnot_circuits(draw, max_qubits: int = 10, max_gates: int = 30):
+    """A random CNOT-only circuit with at least one gate."""
+    num_qubits = draw(st.integers(min_value=2, max_value=max_qubits))
+    num_gates = draw(st.integers(min_value=1, max_value=max_gates))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    circuit = Circuit(num_qubits, name=f"hypothesis_{seed}")
+    for _ in range(num_gates):
+        a, b = rng.sample(range(num_qubits), 2)
+        circuit.cx(a, b)
+    return circuit
+
+
+@given(random_cnot_circuits())
+@settings(max_examples=60, deadline=None)
+def test_dag_level_invariants(circuit):
+    dag = circuit.dag()
+    depth = dag.depth()
+    for node in range(len(dag)):
+        assert 1 <= dag.asap_level(node) <= dag.alap_level(node) <= depth
+        for succ in dag.successors(node):
+            assert dag.asap_level(succ) > dag.asap_level(node)
+            assert dag.alap_level(succ) > dag.alap_level(node)
+        assert dag.criticality(node) >= 1
+        assert dag.descendant_count(node) >= len(dag.successors(node))
+
+
+@given(random_cnot_circuits())
+@settings(max_examples=40, deadline=None)
+def test_para_finding_scheme_legal(circuit):
+    dag = circuit.dag()
+    scheme = para_finding(dag)
+    assert scheme.depth == dag.depth()
+    layer_of = {}
+    for index, layer in enumerate(scheme.layers):
+        qubits_in_layer = set()
+        for node in layer:
+            layer_of[node] = index
+            gate = dag.gate(node)
+            # Gates in a layer are independent: no shared qubits.
+            assert gate.control not in qubits_in_layer
+            assert gate.target not in qubits_in_layer
+            qubits_in_layer.update(gate.qubits)
+    assert len(layer_of) == len(dag)
+    for node in range(len(dag)):
+        for succ in dag.successors(node):
+            assert layer_of[succ] > layer_of[node]
+    assert scheme.parallelism == max(len(layer) for layer in scheme.layers)
+
+
+@given(random_cnot_circuits(max_qubits=8, max_gates=20))
+@settings(max_examples=30, deadline=None)
+def test_qasm_roundtrip_preserves_structure(circuit):
+    parsed = qasm.loads(qasm.dumps(circuit))
+    assert parsed.num_qubits == circuit.num_qubits
+    assert [(g.control, g.target) for g in parsed.cnot_gates()] == [
+        (g.control, g.target) for g in circuit.cnot_gates()
+    ]
+
+
+@given(random_cnot_circuits(max_qubits=9, max_gates=18))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_double_defect_schedules_valid_and_bounded(circuit):
+    encoded = compile_circuit(circuit, model=DD, resources="minimum", scheduler="limited")
+    report = validate_encoded_circuit(circuit, encoded)
+    assert report.valid, report.errors
+    assert encoded.num_cycles >= circuit.depth()
+    # Worst case: every gate pays direct same-cut execution plus a full
+    # modification — far above anything the scheduler should produce.
+    assert encoded.num_cycles <= 7 * circuit.num_cnots + 7
+
+
+@given(random_cnot_circuits(max_qubits=9, max_gates=18))
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lattice_surgery_schedules_valid_and_bounded(circuit):
+    encoded = compile_circuit(circuit, model=LS, resources="minimum", scheduler="limited")
+    report = validate_encoded_circuit(circuit, encoded)
+    assert report.valid, report.errors
+    assert circuit.depth() <= encoded.num_cycles <= circuit.num_cnots + 1
+
+
+@given(random_cnot_circuits(max_qubits=8, max_gates=12))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_baselines_always_valid(circuit):
+    autobraid = compile_autobraid(circuit)
+    edpci = compile_edpci(circuit)
+    assert validate_encoded_circuit(circuit, autobraid).valid
+    assert validate_encoded_circuit(circuit, edpci).valid
+    # AutoBraid pays three cycles per same-cut CNOT, so it is never faster
+    # than the lattice-surgery baseline on the same circuit.
+    assert autobraid.num_cycles >= edpci.num_cycles
+
+
+@given(random_cnot_circuits(max_qubits=8, max_gates=15))
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_resu_valid_and_within_approximation(circuit):
+    encoded = compile_circuit(circuit, model=DD, resources="sufficient", scheduler="resu")
+    report = validate_encoded_circuit(circuit, encoded)
+    assert report.valid, report.errors
+    # Theorem 3: 5/2-approximation of the optimum (which is >= depth); allow
+    # the remap constant for tiny circuits.
+    assert encoded.num_cycles <= 2.5 * circuit.depth() + 3

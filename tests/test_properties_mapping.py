@@ -1,0 +1,102 @@
+"""Property-based tests for chip construction and the mapping pipeline."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip import Chip, SurfaceCodeModel, communication_capacity
+from repro.circuits import Circuit
+from repro.core.mapping import adjust_bandwidth, build_initial_mapping, determine_shape
+from repro.core.cut_types import bipartite_prefix_cut_types
+
+MODELS = (SurfaceCodeModel.DOUBLE_DEFECT, SurfaceCodeModel.LATTICE_SURGERY)
+
+
+@given(
+    num_qubits=st.integers(min_value=2, max_value=60),
+    code_distance=st.integers(min_value=2, max_value=9),
+    model=st.sampled_from(MODELS),
+)
+@settings(max_examples=80, deadline=None)
+def test_chip_factories_invariants(num_qubits, code_distance, model):
+    minimum = Chip.minimum_viable(model, num_qubits, code_distance)
+    four_x = Chip.four_x(model, num_qubits, code_distance)
+    assert minimum.num_tile_slots >= num_qubits
+    assert minimum.bandwidth >= 1
+    assert four_x.physical_qubits >= minimum.physical_qubits
+    assert four_x.bandwidth >= minimum.bandwidth
+    assert minimum.communication_capacity == communication_capacity(minimum.bandwidth)
+
+
+@given(
+    num_qubits=st.integers(min_value=2, max_value=40),
+    parallelism=st.integers(min_value=1, max_value=15),
+    model=st.sampled_from(MODELS),
+)
+@settings(max_examples=50, deadline=None)
+def test_sufficient_chip_covers_parallelism(num_qubits, parallelism, model):
+    chip = Chip.sufficient(model, num_qubits, 3, parallelism)
+    assert chip.communication_capacity >= parallelism
+
+
+@given(num_qubits=st.integers(min_value=1, max_value=49))
+@settings(max_examples=50, deadline=None)
+def test_determine_shape_fits_and_covers(num_qubits):
+    chip = Chip.minimum_viable(SurfaceCodeModel.DOUBLE_DEFECT, max(num_qubits, 2), 3)
+    rows, cols = determine_shape(num_qubits, chip)
+    assert rows * cols >= num_qubits
+    assert rows <= chip.tile_rows and cols <= chip.tile_cols
+    # Perimeter minimality: no other fitting shape has a strictly smaller perimeter.
+    for alt_rows in range(1, chip.tile_rows + 1):
+        alt_cols = -(-num_qubits // alt_rows)
+        if alt_cols <= chip.tile_cols:
+            assert rows + cols <= alt_rows + alt_cols
+
+
+@st.composite
+def _random_circuit(draw):
+    num_qubits = draw(st.integers(min_value=2, max_value=16))
+    num_gates = draw(st.integers(min_value=1, max_value=40))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=9999)))
+    circuit = Circuit(num_qubits)
+    for _ in range(num_gates):
+        a, b = rng.sample(range(num_qubits), 2)
+        circuit.cx(a, b)
+    return circuit
+
+
+@given(circuit=_random_circuit(), scale=st.sampled_from(["minimum", "4x"]), model=st.sampled_from(MODELS))
+@settings(max_examples=40, deadline=None)
+def test_initial_mapping_is_injective_and_within_budget(circuit, scale, model):
+    chip = (
+        Chip.minimum_viable(model, circuit.num_qubits, 3)
+        if scale == "minimum"
+        else Chip.four_x(model, circuit.num_qubits, 3)
+    )
+    cuts = (
+        bipartite_prefix_cut_types(circuit.dag(), circuit.num_qubits)
+        if model is SurfaceCodeModel.DOUBLE_DEFECT
+        else None
+    )
+    mapping = build_initial_mapping(circuit, chip, cuts)
+    # Injective placement inside the chip.
+    mapping.placement.validate(mapping.chip)
+    assert mapping.placement.num_qubits() == circuit.num_qubits
+    # Bandwidth adjusting never exceeds the per-axis lane budget and never
+    # drops a corridor below one lane.
+    h_budget, v_budget = chip.lane_budget_per_axis()
+    assert sum(mapping.chip.h_bandwidths) <= h_budget
+    assert sum(mapping.chip.v_bandwidths) <= v_budget
+    assert min(mapping.chip.h_bandwidths + mapping.chip.v_bandwidths) >= 1
+
+
+@given(circuit=_random_circuit())
+@settings(max_examples=30, deadline=None)
+def test_adjust_bandwidth_idempotent_on_minimum_chip(circuit):
+    chip = Chip.minimum_viable(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, 3)
+    graph = circuit.communication_graph()
+    mapping = build_initial_mapping(circuit, chip, None, adjust=False)
+    assert adjust_bandwidth(chip, mapping.placement, graph) == chip

@@ -1,0 +1,111 @@
+"""Unit tests for QASM expansion to the CNOT + single-qubit gate set."""
+
+import pytest
+
+from repro.circuits import qasm
+from repro.errors import QasmError
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+def test_registers_allocate_flat_indices():
+    circuit = qasm.loads(HEADER + "qreg a[2];\nqreg b[2];\ncx a[1], b[0];\n")
+    assert circuit.num_qubits == 4
+    gate = circuit.cnot_gates()[0]
+    assert gate.qubits == (1, 2)
+
+
+def test_broadcast_whole_register():
+    circuit = qasm.loads(HEADER + "qreg q[3];\nh q;\n")
+    assert circuit.gate_counts()["h"] == 3
+
+
+def test_broadcast_register_pair():
+    circuit = qasm.loads(HEADER + "qreg a[3];\nqreg b[3];\ncx a, b;\n")
+    assert circuit.num_cnots == 3
+    assert circuit.cnot_gates()[1].qubits == (1, 4)
+
+
+def test_cz_decomposes_to_one_cnot():
+    circuit = qasm.loads(HEADER + "qreg q[2];\ncz q[0], q[1];\n")
+    assert circuit.num_cnots == 1
+    assert circuit.gate_counts()["h"] == 2
+
+
+def test_swap_decomposes_to_three_cnots():
+    circuit = qasm.loads(HEADER + "qreg q[2];\nswap q[0], q[1];\n")
+    assert circuit.num_cnots == 3
+
+
+def test_ccx_decomposes_to_six_cnots():
+    circuit = qasm.loads(HEADER + "qreg q[3];\nccx q[0], q[1], q[2];\n")
+    assert circuit.num_cnots == 6
+
+
+def test_crz_and_cu1_decompose_to_two_cnots():
+    circuit = qasm.loads(HEADER + "qreg q[2];\ncrz(pi/4) q[0], q[1];\ncu1(pi/8) q[0], q[1];\n")
+    assert circuit.num_cnots == 4
+
+
+def test_custom_gate_definition_expansion():
+    source = HEADER + (
+        "qreg q[3];\n"
+        "gate entangle a, b { h a; cx a, b; }\n"
+        "entangle q[0], q[1];\n"
+        "entangle q[1], q[2];\n"
+    )
+    circuit = qasm.loads(source)
+    assert circuit.num_cnots == 2
+    assert circuit.gate_counts()["h"] == 2
+
+
+def test_nested_custom_gate_definitions():
+    source = HEADER + (
+        "qreg q[2];\n"
+        "gate inner a, b { cx a, b; }\n"
+        "gate outer a, b { inner a, b; inner b, a; }\n"
+        "outer q[0], q[1];\n"
+    )
+    circuit = qasm.loads(source)
+    assert circuit.num_cnots == 2
+    assert circuit.cnot_gates()[1].qubits == (1, 0)
+
+
+def test_parameterised_custom_gate_binding():
+    source = HEADER + (
+        "qreg q[2];\n"
+        "gate twist(theta) a, b { rz(theta/2) a; cx a, b; }\n"
+        "twist(pi) q[0], q[1];\n"
+    )
+    circuit = qasm.loads(source)
+    rz = [g for g in circuit if g.name == "rz"][0]
+    assert rz.params[0] == pytest.approx(1.5707963267948966)
+
+
+def test_conditional_included_by_default_and_excludable():
+    source = HEADER + "qreg q[2];\ncreg c[1];\nif (c == 1) cx q[0], q[1];\n"
+    assert qasm.loads(source).num_cnots == 1
+    assert qasm.loads(source, include_conditional=False).num_cnots == 0
+
+
+def test_measure_is_recorded_not_cnot():
+    circuit = qasm.loads(HEADER + "qreg q[1];\ncreg c[1];\nmeasure q[0] -> c[0];\n")
+    assert circuit.num_cnots == 0
+    assert circuit.gate_counts()["measure"] == 1
+
+
+def test_unknown_two_qubit_gate_treated_as_cnot():
+    circuit = qasm.loads(HEADER + "qreg q[2];\nopaque mystery a, b;\nmystery q[0], q[1];\n")
+    assert circuit.num_cnots == 1
+
+
+def test_wrong_arity_custom_gate_raises():
+    source = HEADER + "qreg q[2];\ngate g1 a, b { cx a, b; }\ng1 q[0];\n"
+    with pytest.raises(QasmError):
+        qasm.loads(source)
+
+
+def test_mismatched_broadcast_raises():
+    source = HEADER + "qreg a[2];\nqreg b[3];\ncx a, b;\n"
+    with pytest.raises(QasmError):
+        qasm.loads(source)

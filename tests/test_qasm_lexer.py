@@ -1,0 +1,79 @@
+"""Unit tests for the OpenQASM lexer."""
+
+import pytest
+
+from repro.circuits.qasm.tokens import TokenType, tokenize
+from repro.errors import QasmError
+
+
+def _types(source):
+    return [t.type for t in tokenize(source)[:-1]]
+
+
+def test_simple_statement_tokens():
+    tokens = tokenize("qreg q[5];")
+    assert [t.type for t in tokens[:-1]] == [
+        TokenType.KEYWORD,
+        TokenType.ID,
+        TokenType.LBRACKET,
+        TokenType.INT,
+        TokenType.RBRACKET,
+        TokenType.SEMICOLON,
+    ]
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_comments_and_whitespace_skipped():
+    tokens = tokenize("// a comment\n  h q[0]; // trailing\n")
+    assert [t.value for t in tokens[:-1]] == ["h", "q", "[", "0", "]", ";"]
+
+
+def test_real_and_int_numbers():
+    assert _types("3.5") == [TokenType.REAL]
+    assert _types("42") == [TokenType.INT]
+    assert _types("1e-3") == [TokenType.REAL]
+
+
+def test_arrow_and_minus():
+    assert _types("->") == [TokenType.ARROW]
+    assert _types("-1") == [TokenType.MINUS, TokenType.INT]
+
+
+def test_string_literal():
+    tokens = tokenize('include "qelib1.inc";')
+    assert tokens[1].type is TokenType.STRING
+    assert tokens[1].value == "qelib1.inc"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(QasmError):
+        tokenize('include "qelib1.inc;')
+
+
+def test_keywords_vs_identifiers():
+    tokens = tokenize("gate mygate q { }")
+    assert tokens[0].type is TokenType.KEYWORD
+    assert tokens[1].type is TokenType.ID
+
+
+def test_pi_is_keyword():
+    tokens = tokenize("rz(pi/2) q[0];")
+    values = [(t.type, t.value) for t in tokens]
+    assert (TokenType.KEYWORD, "pi") in values
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(QasmError):
+        tokenize("h q[0]; @")
+
+
+def test_single_equals_raises():
+    with pytest.raises(QasmError):
+        tokenize("if (c = 1) x q[0];")
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("h q[0];\ncx q[0], q[1];")
+    cx_token = next(t for t in tokens if t.value == "cx")
+    assert cx_token.line == 2
+    assert cx_token.column == 1

@@ -1,0 +1,60 @@
+"""Round-trip tests: Circuit -> QASM text -> Circuit."""
+
+import pytest
+
+from repro.circuits import qasm
+from repro.circuits.generators import random_parallel_circuit, standard
+
+
+def _cnot_structure(circuit):
+    return [(g.control, g.target) for g in circuit.cnot_gates()]
+
+
+@pytest.mark.parametrize(
+    "circuit_factory",
+    [
+        lambda: standard.ghz_state(6),
+        lambda: standard.qft(5),
+        lambda: standard.ising(6, layers=2),
+        lambda: standard.cuccaro_adder(6),
+        lambda: standard.bernstein_vazirani(6),
+        lambda: random_parallel_circuit(10, 8, 3, seed=7),
+    ],
+)
+def test_roundtrip_preserves_cnot_structure(circuit_factory):
+    original = circuit_factory()
+    text = qasm.dumps(original)
+    parsed = qasm.loads(text)
+    assert parsed.num_qubits == original.num_qubits
+    assert _cnot_structure(parsed) == _cnot_structure(original)
+    assert parsed.depth() == original.depth()
+
+
+def test_dump_and_load_file(tmp_path):
+    circuit = standard.ghz_state(5)
+    path = tmp_path / "ghz.qasm"
+    qasm.dump(circuit, path)
+    loaded = qasm.load(path)
+    assert _cnot_structure(loaded) == _cnot_structure(circuit)
+
+
+def test_dumps_includes_measurements_only_on_request():
+    circuit = standard.ghz_state(3)
+    circuit.append(type(circuit[0])("measure", (0,)))
+    assert "measure" not in qasm.dumps(circuit)
+    text = qasm.dumps(circuit, include_measurements=True)
+    assert "measure q[0] -> c[0];" in text
+
+
+def test_dumps_header_and_register():
+    text = qasm.dumps(standard.ghz_state(4))
+    assert text.startswith("OPENQASM 2.0;")
+    assert "qreg q[4];" in text
+
+
+def test_parameters_survive_roundtrip():
+    circuit = standard.qft(4)
+    parsed = qasm.loads(qasm.dumps(circuit))
+    original_rz = [g.params[0] for g in circuit if g.name == "rz"]
+    parsed_rz = [g.params[0] for g in parsed if g.name == "rz"]
+    assert parsed_rz == pytest.approx(original_rz)

@@ -1,0 +1,104 @@
+"""Tests for Ecmas-ReSu (Algorithm 2)."""
+
+from repro.chip import Chip, SurfaceCodeModel
+from repro.circuits import Circuit
+from repro.circuits.generators import standard
+from repro.core.mapping import build_initial_mapping
+from repro.core.metrics import circuit_parallelism_degree, para_finding
+from repro.core.resu import (
+    CUT_REMAP_CYCLES,
+    schedule_resu_double_defect,
+    schedule_resu_lattice_surgery,
+    split_into_bipartite_groups,
+)
+from repro.core.schedule import OperationKind
+from repro.verify import validate_encoded_circuit
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+
+def _sufficient_mapping(circuit, model):
+    parallelism = max(1, circuit_parallelism_degree(circuit))
+    chip = Chip.sufficient(model, circuit.num_qubits, 3, parallelism)
+    return build_initial_mapping(circuit, chip, None)
+
+
+class TestBipartiteGroups:
+    def test_bipartite_circuit_single_group(self, ghz8):
+        dag = ghz8.dag()
+        scheme = para_finding(dag)
+        groups = split_into_bipartite_groups(dag, scheme, 8)
+        assert len(groups) == 1
+        assert groups[0].layer_indices == tuple(range(scheme.depth))
+
+    def test_groups_cover_all_layers(self, triangle_circuit):
+        dag = triangle_circuit.dag()
+        scheme = para_finding(dag)
+        groups = split_into_bipartite_groups(dag, scheme, 3)
+        covered = [i for group in groups for i in group.layer_indices]
+        assert covered == list(range(scheme.depth))
+        assert len(groups) >= 2  # the odd cycle cannot fit in one bipartite group
+
+    def test_lemma1_every_group_has_at_least_two_layers_when_possible(self):
+        circuit = standard.qft(8)
+        dag = circuit.dag()
+        scheme = para_finding(dag)
+        groups = split_into_bipartite_groups(dag, scheme, 8)
+        # Lemma 1: any two consecutive layers are bipartite, so only the final
+        # group may be a singleton.
+        for group in groups[:-1]:
+            assert len(group.layer_indices) >= 2
+
+
+class TestResuDoubleDefect:
+    def test_bipartite_circuit_reaches_depth(self, ghz8):
+        encoded = schedule_resu_double_defect(ghz8, _sufficient_mapping(ghz8, DD))
+        assert encoded.num_cycles == ghz8.depth()
+        validate_encoded_circuit(ghz8, encoded).raise_if_invalid()
+
+    def test_dnn_reaches_depth(self):
+        circuit = standard.dnn(8, layers=6)
+        encoded = schedule_resu_double_defect(circuit, _sufficient_mapping(circuit, DD))
+        assert encoded.num_cycles == circuit.depth()
+
+    def test_non_bipartite_adds_remap_cycles(self, triangle_circuit):
+        encoded = schedule_resu_double_defect(triangle_circuit, _sufficient_mapping(triangle_circuit, DD))
+        remaps = [op for op in encoded.operations if op.kind is OperationKind.CUT_REMAP]
+        assert len(remaps) >= 1
+        assert all(op.duration == CUT_REMAP_CYCLES for op in remaps)
+        validate_encoded_circuit(triangle_circuit, encoded).raise_if_invalid()
+
+    def test_approximation_bound(self):
+        # Theorem 3: the ReSu schedule is within 5/2 of the optimum, which is
+        # itself at least the circuit depth.
+        for factory in (lambda: standard.qft(8), lambda: standard.sat(9, num_clauses=8)):
+            circuit = factory()
+            encoded = schedule_resu_double_defect(circuit, _sufficient_mapping(circuit, DD))
+            assert encoded.num_cycles <= 2.5 * circuit.depth() + CUT_REMAP_CYCLES
+            validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+
+    def test_initial_cut_types_recorded(self, ghz8):
+        encoded = schedule_resu_double_defect(ghz8, _sufficient_mapping(ghz8, DD))
+        assert encoded.initial_cut_types is not None
+        assert len(encoded.initial_cut_types) == 8
+
+    def test_empty_circuit(self):
+        circuit = Circuit(4)
+        chip = Chip.sufficient(DD, 4, 3, 1)
+        mapping = build_initial_mapping(circuit, chip, None)
+        encoded = schedule_resu_double_defect(circuit, mapping)
+        assert encoded.num_cycles == 0
+
+
+class TestResuLatticeSurgery:
+    def test_reaches_optimal_depth(self):
+        for factory in (lambda: standard.qft(8), lambda: standard.dnn(8, layers=4), lambda: standard.ghz_state(9)):
+            circuit = factory()
+            encoded = schedule_resu_lattice_surgery(circuit, _sufficient_mapping(circuit, LS))
+            assert encoded.num_cycles == circuit.depth()
+            validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+
+    def test_no_cut_operations_emitted(self, ghz8):
+        encoded = schedule_resu_lattice_surgery(ghz8, _sufficient_mapping(ghz8, LS))
+        assert all(op.kind is OperationKind.CNOT_BRAID for op in encoded.operations)

@@ -1,0 +1,162 @@
+"""Tests for capacity-aware path search, the cycle router and EDP routing."""
+
+import pytest
+
+from repro.chip import Chip, RoutingGraph, SurfaceCodeModel, tile_node
+from repro.errors import RoutingError
+from repro.routing import (
+    CapacityUsage,
+    CycleRouter,
+    RoutedPath,
+    RoutingRequest,
+    can_route_simultaneously,
+    find_path,
+    max_simultaneous,
+    route_edge_disjoint,
+)
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+
+
+def _graph(rows=3, cols=3, bandwidth=1):
+    return RoutingGraph(Chip.with_tile_array(DD, 3, rows, cols, bandwidth=bandwidth))
+
+
+class TestFindPath:
+    def test_adjacent_tiles_short_path(self):
+        graph = _graph()
+        path = find_path(graph, CapacityUsage(), tile_node(0, 0), tile_node(0, 1))
+        assert path is not None
+        assert path.source == tile_node(0, 0)
+        assert path.target == tile_node(0, 1)
+        assert path.length <= 4
+
+    def test_path_never_crosses_other_tiles(self):
+        graph = _graph(4, 4)
+        path = find_path(graph, CapacityUsage(), tile_node(0, 0), tile_node(3, 3))
+        for node in path.nodes[1:-1]:
+            assert not graph.is_tile(node)
+
+    def test_same_tile_raises(self):
+        graph = _graph()
+        with pytest.raises(RoutingError):
+            find_path(graph, CapacityUsage(), tile_node(0, 0), tile_node(0, 0))
+
+    def test_non_tile_endpoint_raises(self):
+        graph = _graph()
+        with pytest.raises(RoutingError):
+            find_path(graph, CapacityUsage(), ("j", 0, 0), tile_node(0, 0))
+
+    def test_saturated_graph_returns_none(self):
+        graph = _graph(2, 2, bandwidth=1)
+        usage = CapacityUsage()
+        # Saturate every edge.
+        for key in graph.edges:
+            usage.used[key] = graph.capacity(*key)
+        assert find_path(graph, usage, tile_node(0, 0), tile_node(1, 1)) is None
+
+    def test_congestion_weight_prefers_empty_edges(self):
+        graph = _graph(3, 3, bandwidth=2)
+        usage = CapacityUsage()
+        direct = find_path(graph, usage, tile_node(0, 0), tile_node(0, 2))
+        usage.add_path(direct)
+        second = find_path(graph, usage, tile_node(0, 0), tile_node(0, 2), congestion_weight=2.0)
+        assert second is not None
+        # With a strong congestion penalty, the second path should avoid at
+        # least part of the first one.
+        assert set(second.edges) != set(direct.edges)
+
+
+class TestCapacityUsage:
+    def test_add_and_remove_path(self):
+        graph = _graph()
+        path = find_path(graph, CapacityUsage(), tile_node(0, 0), tile_node(2, 2))
+        usage = CapacityUsage()
+        usage.add_path(path)
+        assert usage.total_edge_load() == path.length
+        assert not usage.violates(graph)
+        usage.remove_path(path)
+        assert usage.total_edge_load() == 0
+
+    def test_remove_unreserved_raises(self):
+        graph = _graph()
+        path = find_path(graph, CapacityUsage(), tile_node(0, 0), tile_node(1, 1))
+        with pytest.raises(RoutingError):
+            CapacityUsage().remove_path(path)
+
+    def test_copy_is_independent(self):
+        usage = CapacityUsage({("a", "b"): 1})
+        clone = usage.copy()
+        clone.used[("a", "b")] = 5
+        assert usage.used[("a", "b")] == 1
+
+
+class TestRoutedPath:
+    def test_from_nodes_validates(self):
+        graph = _graph()
+        nodes = [tile_node(0, 0), ("j", 0, 0), ("j", 1, 0), tile_node(1, 0)]
+        path = RoutedPath.from_nodes(graph, nodes)
+        assert path.length == 3
+        with pytest.raises(RoutingError):
+            RoutedPath.from_nodes(graph, [tile_node(0, 0)])
+
+
+class TestCycleRouter:
+    def test_routes_independent_gates(self):
+        graph = _graph(3, 3, bandwidth=1)
+        requests = [
+            RoutingRequest(0, tile_node(0, 0), tile_node(0, 1)),
+            RoutingRequest(1, tile_node(2, 0), tile_node(2, 1)),
+            RoutingRequest(2, tile_node(0, 2), tile_node(1, 2)),
+        ]
+        result = CycleRouter(graph).route_cycle(requests)
+        assert result.num_routed == 3
+        assert result.failed == []
+
+    def test_respects_existing_usage(self):
+        graph = _graph(2, 2, bandwidth=1)
+        usage = CapacityUsage()
+        for key in graph.edges:
+            usage.used[key] = graph.capacity(*key)
+        result = CycleRouter(graph).route_cycle(
+            [RoutingRequest(0, tile_node(0, 0), tile_node(1, 1))], usage=usage
+        )
+        assert result.failed == [0]
+
+    def test_multi_lane_request(self):
+        graph = _graph(3, 3, bandwidth=2)
+        result = CycleRouter(graph).route_cycle(
+            [RoutingRequest(0, tile_node(0, 0), tile_node(2, 2), lanes=2)]
+        )
+        assert result.num_routed == 1
+
+
+class TestEdgeDisjointRouting:
+    def test_three_gates_always_routable_bandwidth_one(self):
+        # Theorem 2 base case: any three independent CNOTs can run together.
+        graph = _graph(3, 3, bandwidth=1)
+        pairs = [
+            (tile_node(0, 0), tile_node(2, 2)),
+            (tile_node(0, 2), tile_node(2, 0)),
+            (tile_node(1, 0), tile_node(1, 2)),
+        ]
+        assert can_route_simultaneously(graph, pairs)
+
+    def test_route_edge_disjoint_returns_indices(self):
+        graph = _graph(3, 3, bandwidth=1)
+        pairs = [
+            (tile_node(0, 0), tile_node(0, 1)),
+            (tile_node(2, 1), tile_node(2, 2)),
+        ]
+        routed, failed = route_edge_disjoint(graph, pairs)
+        assert set(routed) == {0, 1}
+        assert failed == []
+
+    def test_max_simultaneous_counts(self):
+        graph = _graph(3, 3, bandwidth=1)
+        pairs = [
+            (tile_node(0, 0), tile_node(0, 1)),
+            (tile_node(1, 0), tile_node(1, 1)),
+            (tile_node(2, 0), tile_node(2, 1)),
+        ]
+        assert max_simultaneous(graph, pairs) == 3

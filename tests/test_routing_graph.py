@@ -1,0 +1,66 @@
+"""Tests for the corridor routing graph."""
+
+import pytest
+
+from repro.chip import Chip, RoutingGraph, SurfaceCodeModel, junction, tile_node
+from repro.errors import RoutingError
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+
+
+@pytest.fixture
+def graph():
+    return RoutingGraph(Chip.with_tile_array(DD, 3, 2, 3, bandwidth=2))
+
+
+def test_node_counts(graph):
+    chip = graph.chip
+    junctions = (chip.tile_rows + 1) * (chip.tile_cols + 1)
+    tiles = chip.tile_rows * chip.tile_cols
+    assert len(graph.nodes) == junctions + tiles
+    assert len(graph.tile_nodes()) == tiles
+
+
+def test_edge_capacities_follow_corridor_bandwidths(graph):
+    chip = graph.chip
+    assert graph.capacity(junction(0, 0), junction(0, 1)) == chip.h_bandwidths[0]
+    assert graph.capacity(junction(0, 0), junction(1, 0)) == chip.v_bandwidths[0]
+
+
+def test_tile_access_edges_exist(graph):
+    tile = tile_node(0, 0)
+    for corner in (junction(0, 0), junction(0, 1), junction(1, 0), junction(1, 1)):
+        assert graph.has_edge(tile, corner)
+    assert graph.is_tile(tile)
+    assert not graph.is_tile(junction(0, 0))
+
+
+def test_neighbors_of_interior_junction(graph):
+    # An interior junction touches 4 junction neighbours plus adjacent tiles.
+    neighbors = graph.neighbors(junction(1, 1))
+    junction_neighbors = [n for n in neighbors if n[0] == "j"]
+    assert len(junction_neighbors) == 4
+
+
+def test_capacity_of_missing_edge_raises(graph):
+    with pytest.raises(RoutingError):
+        graph.capacity(junction(0, 0), junction(2, 2))
+
+
+def test_unknown_node_raises(graph):
+    with pytest.raises(RoutingError):
+        graph.neighbors(("j", 99, 99))
+
+
+def test_corridor_of_edges(graph):
+    assert graph.corridor_of(junction(0, 0), junction(0, 1)) == ("h", 0)
+    assert graph.corridor_of(junction(1, 0), junction(2, 0)) == ("v", 0)
+    assert graph.corridor_of(tile_node(0, 0), junction(0, 0)) is None
+
+
+def test_path_edges_validates_adjacency(graph):
+    nodes = [tile_node(0, 0), junction(0, 0), junction(0, 1)]
+    edges = graph.path_edges(nodes)
+    assert len(edges) == 2
+    with pytest.raises(RoutingError):
+        graph.path_edges([tile_node(0, 0), junction(2, 3)])

@@ -1,0 +1,111 @@
+"""Tests for the double defect scheduler (Algorithm 1)."""
+
+import pytest
+
+from repro.chip import Chip, SurfaceCodeModel
+from repro.circuits import Circuit
+from repro.circuits.generators import standard
+from repro.core.cut_decisions import adaptive_strategy, never_modify_strategy
+from repro.core.cut_types import bipartite_prefix_cut_types, uniform_cut_types
+from repro.core.mapping import build_initial_mapping
+from repro.core.schedule import OperationKind
+from repro.core.scheduler_dd import DoubleDefectScheduler
+from repro.errors import SchedulingError
+from repro.verify import validate_encoded_circuit
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+
+
+def _mapping(circuit, cut_types=None, chip=None, strategy="ecmas"):
+    chip = chip or Chip.minimum_viable(DD, circuit.num_qubits, 3)
+    if cut_types is None:
+        cut_types = bipartite_prefix_cut_types(circuit.dag(), circuit.num_qubits)
+    return build_initial_mapping(circuit, chip, cut_types, placement_strategy=strategy)
+
+
+def test_requires_cut_types():
+    circuit = standard.ghz_state(4)
+    chip = Chip.minimum_viable(DD, 4, 3)
+    mapping = build_initial_mapping(circuit, chip, None)
+    with pytest.raises(SchedulingError):
+        DoubleDefectScheduler(circuit, mapping)
+
+
+def test_empty_circuit_produces_empty_schedule():
+    circuit = Circuit(4)
+    encoded = DoubleDefectScheduler(circuit, _mapping(circuit)).run()
+    assert encoded.num_cycles == 0
+    assert encoded.operations == []
+
+
+def test_single_cnot_different_cuts_takes_one_cycle():
+    circuit = Circuit(4)
+    circuit.cx(0, 1)
+    encoded = DoubleDefectScheduler(circuit, _mapping(circuit)).run()
+    assert encoded.num_cycles == 1
+    assert encoded.operations[0].kind is OperationKind.CNOT_BRAID
+
+
+def test_single_cnot_same_cut_never_modify_takes_three_cycles():
+    circuit = Circuit(4)
+    circuit.cx(0, 1)
+    mapping = _mapping(circuit, cut_types=uniform_cut_types(4))
+    encoded = DoubleDefectScheduler(circuit, mapping, cut_strategy=never_modify_strategy).run()
+    assert encoded.num_cycles == 3
+    assert encoded.operations[0].kind is OperationKind.CNOT_SAME_CUT
+
+
+def test_bipartite_circuit_matches_depth(ghz8):
+    encoded = DoubleDefectScheduler(ghz8, _mapping(ghz8)).run()
+    assert encoded.num_cycles == ghz8.depth()
+    validate_encoded_circuit(ghz8, encoded).raise_if_invalid()
+
+
+def test_uniform_cuts_with_never_modify_triples_depth(ghz8):
+    mapping = _mapping(ghz8, cut_types=uniform_cut_types(8))
+    encoded = DoubleDefectScheduler(ghz8, mapping, cut_strategy=never_modify_strategy).run()
+    assert encoded.num_cycles == 3 * ghz8.depth()
+    validate_encoded_circuit(ghz8, encoded).raise_if_invalid()
+
+
+def test_adaptive_strategy_beats_never_modify_on_uniform_start(ghz8):
+    mapping = _mapping(ghz8, cut_types=uniform_cut_types(8))
+    adaptive = DoubleDefectScheduler(ghz8, mapping, cut_strategy=adaptive_strategy).run()
+    never = DoubleDefectScheduler(ghz8, mapping, cut_strategy=never_modify_strategy).run()
+    assert adaptive.num_cycles <= never.num_cycles
+    validate_encoded_circuit(ghz8, adaptive).raise_if_invalid()
+
+
+def test_cut_modifications_recorded_and_valid(triangle_circuit):
+    # The odd cycle forces at least one same-cut situation.
+    encoded = DoubleDefectScheduler(triangle_circuit, _mapping(triangle_circuit)).run()
+    validate_encoded_circuit(triangle_circuit, encoded).raise_if_invalid()
+    kinds = {op.kind for op in encoded.operations}
+    assert OperationKind.CNOT_BRAID in kinds
+    # Either a modification or a direct same-cut execution must appear.
+    assert kinds & {OperationKind.CUT_MODIFICATION, OperationKind.CNOT_SAME_CUT}
+
+
+def test_congested_parallel_layers_still_schedule():
+    circuit = standard.dnn(16, layers=2)
+    encoded = DoubleDefectScheduler(circuit, _mapping(circuit)).run()
+    validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+    assert encoded.num_cycles >= circuit.depth()
+
+
+def test_all_gates_scheduled_exactly_once():
+    circuit = standard.qft(8)
+    encoded = DoubleDefectScheduler(circuit, _mapping(circuit)).run()
+    assert encoded.num_cnots == circuit.num_cnots
+    validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+
+
+def test_priority_prefers_critical_path():
+    # Two chains of different length sharing the chip: the longer chain should
+    # not be starved, so the makespan equals the longer chain's length.
+    circuit = Circuit(8)
+    for i in range(5):
+        circuit.cx(0, 1) if i % 2 == 0 else circuit.cx(1, 0)
+    circuit.cx(2, 3)
+    encoded = DoubleDefectScheduler(circuit, _mapping(circuit)).run()
+    assert encoded.num_cycles == 5

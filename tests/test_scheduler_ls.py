@@ -1,0 +1,70 @@
+"""Tests for the lattice surgery scheduler (Algorithm 1)."""
+
+from repro.chip import Chip, SurfaceCodeModel
+from repro.circuits import Circuit
+from repro.circuits.generators import random_parallel_circuit, standard
+from repro.core.mapping import build_initial_mapping
+from repro.core.priorities import circuit_order_priority
+from repro.core.schedule import OperationKind
+from repro.core.scheduler_ls import LatticeSurgeryScheduler
+from repro.verify import validate_encoded_circuit
+
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+
+def _mapping(circuit, chip=None, strategy="ecmas", adjust=True):
+    chip = chip or Chip.minimum_viable(LS, circuit.num_qubits, 3)
+    return build_initial_mapping(circuit, chip, None, placement_strategy=strategy, adjust=adjust)
+
+
+def test_empty_circuit():
+    circuit = Circuit(4)
+    encoded = LatticeSurgeryScheduler(circuit, _mapping(circuit)).run()
+    assert encoded.num_cycles == 0
+
+
+def test_every_cnot_takes_one_cycle():
+    circuit = Circuit(4)
+    circuit.cx(0, 1)
+    circuit.cx(2, 3)
+    encoded = LatticeSurgeryScheduler(circuit, _mapping(circuit)).run()
+    assert encoded.num_cycles == 1
+    assert all(op.duration == 1 for op in encoded.operations)
+    assert all(op.kind is OperationKind.CNOT_BRAID for op in encoded.operations)
+
+
+def test_sequential_chain_matches_depth(chain_circuit):
+    encoded = LatticeSurgeryScheduler(chain_circuit, _mapping(chain_circuit)).run()
+    assert encoded.num_cycles == chain_circuit.depth()
+    validate_encoded_circuit(chain_circuit, encoded).raise_if_invalid()
+
+
+def test_low_parallelism_benchmarks_reach_depth():
+    for factory in (lambda: standard.ghz_state(9), lambda: standard.cuccaro_adder(10)):
+        circuit = factory()
+        encoded = LatticeSurgeryScheduler(circuit, _mapping(circuit)).run()
+        assert encoded.num_cycles == circuit.depth()
+        validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+
+
+def test_high_parallelism_may_congest_but_stays_valid():
+    circuit = random_parallel_circuit(16, 10, 8, seed=2)
+    encoded = LatticeSurgeryScheduler(circuit, _mapping(circuit)).run()
+    assert encoded.num_cycles >= circuit.depth()
+    validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+
+
+def test_priority_function_is_pluggable():
+    circuit = standard.qft(8)
+    ours = LatticeSurgeryScheduler(circuit, _mapping(circuit)).run()
+    order = LatticeSurgeryScheduler(circuit, _mapping(circuit), priority=circuit_order_priority).run()
+    assert ours.num_cycles <= order.num_cycles + 2  # ours should not be much worse
+    validate_encoded_circuit(circuit, order).raise_if_invalid()
+
+
+def test_larger_chip_never_hurts():
+    circuit = standard.dnn(16, layers=3)
+    minimum = LatticeSurgeryScheduler(circuit, _mapping(circuit)).run()
+    bigger_chip = Chip.four_x(LS, 16, 3)
+    bigger = LatticeSurgeryScheduler(circuit, _mapping(circuit, chip=bigger_chip)).run()
+    assert bigger.num_cycles <= minimum.num_cycles

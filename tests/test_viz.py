@@ -1,0 +1,52 @@
+"""Tests for the plain-text visualisation helpers."""
+
+from repro import SurfaceCodeModel, compile_circuit
+from repro.circuits.generators import standard
+from repro.viz import render_gantt, render_placement, render_schedule_timeline
+
+
+def _compiled():
+    circuit = standard.ghz_state(6)
+    encoded = compile_circuit(circuit, model=SurfaceCodeModel.DOUBLE_DEFECT, scheduler="limited")
+    return circuit, encoded
+
+
+def test_render_placement_shows_all_qubits():
+    _, encoded = _compiled()
+    text = render_placement(encoded.chip, encoded.placement)
+    for qubit in range(6):
+        assert f"q{qubit}" in text
+    assert "bandwidth" in text or "corridor bandwidths" in text
+    # 3x3 tile array with 6 qubits leaves unused slots marked '.'.
+    assert "." in text
+
+
+def test_render_timeline_lists_every_cycle():
+    _, encoded = _compiled()
+    text = render_schedule_timeline(encoded)
+    assert f"{encoded.num_cycles} cycles" in text
+    assert text.count("cycle ") == encoded.num_cycles
+
+
+def test_render_timeline_truncates():
+    _, encoded = _compiled()
+    text = render_schedule_timeline(encoded, max_cycles=2)
+    assert "more cycles" in text
+    assert text.count("cycle ") == 2
+
+
+def test_render_gantt_rows_per_qubit():
+    _, encoded = _compiled()
+    text = render_gantt(encoded)
+    lines = [line for line in text.splitlines() if line.strip().startswith("q")]
+    assert len(lines) == 6
+    assert any("B" in line for line in lines)
+
+
+def test_gantt_marks_same_cut_and_modifications():
+    from repro.baselines import compile_autobraid
+
+    circuit = standard.ghz_state(5)
+    encoded = compile_autobraid(circuit)
+    text = render_gantt(encoded)
+    assert "S" in text  # AutoBraid only uses three-cycle same-cut executions
