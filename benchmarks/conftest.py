@@ -8,6 +8,10 @@ Environment knobs:
 
 * ``ECMAS_BENCH_FULL=1`` — include the very large Table I circuits
   (``qft_n50``, ``quantum_walk``, ``shor``) and use paper-sized figure groups.
+* ``ECMAS_BENCH_JOBS=N`` — fan table regeneration across ``N`` worker
+  processes through the batch engine (``0`` = one per CPU; default serial).
+* ``ECMAS_BENCH_CACHE=DIR`` — reuse compile results from an on-disk cache
+  (off by default: benchmarks measure compilation, so caching would lie).
 """
 
 from __future__ import annotations
@@ -17,12 +21,31 @@ from pathlib import Path
 
 import pytest
 
+from repro.pipeline.batch import ResultCache
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def full_benchmarks_enabled() -> bool:
     """True when the slow, paper-scale configuration was requested."""
     return os.environ.get("ECMAS_BENCH_FULL", "0") == "1"
+
+
+def bench_jobs() -> int:
+    """Worker-process count for batch-engine table regeneration."""
+    return int(os.environ.get("ECMAS_BENCH_JOBS", "1"))
+
+
+def bench_cache() -> ResultCache | None:
+    """Result cache for table regeneration, when explicitly requested."""
+    directory = os.environ.get("ECMAS_BENCH_CACHE", "")
+    return ResultCache(directory) if directory else None
+
+
+@pytest.fixture(scope="session")
+def batch_options() -> dict:
+    """``jobs=`` / ``cache=`` keyword arguments for the table builders."""
+    return {"jobs": bench_jobs(), "cache": bench_cache()}
 
 
 @pytest.fixture(scope="session")

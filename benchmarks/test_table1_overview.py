@@ -22,9 +22,9 @@ _COLUMNS = [
 ]
 
 
-def test_table1_overview(benchmark, save_result):
+def test_table1_overview(benchmark, save_result, batch_options):
     rows = benchmark.pedantic(
-        lambda: table1_overview(include_large=full_benchmarks_enabled()),
+        lambda: table1_overview(include_large=full_benchmarks_enabled(), **batch_options),
         rounds=1,
         iterations=1,
     )

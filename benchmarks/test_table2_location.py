@@ -5,8 +5,8 @@ from __future__ import annotations
 from repro.eval import format_table, table2_location
 
 
-def test_table2_location(benchmark, save_result):
-    rows = benchmark.pedantic(table2_location, rounds=1, iterations=1)
+def test_table2_location(benchmark, save_result, batch_options):
+    rows = benchmark.pedantic(lambda: table2_location(**batch_options), rounds=1, iterations=1)
     text = format_table(
         rows,
         ["circuit", "n", "alpha", "g", "trivial", "metis", "ours"],

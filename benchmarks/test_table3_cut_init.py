@@ -5,8 +5,8 @@ from __future__ import annotations
 from repro.eval import format_table, table3_cut_initialisation
 
 
-def test_table3_cut_initialisation(benchmark, save_result):
-    rows = benchmark.pedantic(table3_cut_initialisation, rounds=1, iterations=1)
+def test_table3_cut_initialisation(benchmark, save_result, batch_options):
+    rows = benchmark.pedantic(lambda: table3_cut_initialisation(**batch_options), rounds=1, iterations=1)
     text = format_table(
         rows,
         ["circuit", "n", "alpha", "g", "random", "maxcut", "ours"],

@@ -5,8 +5,8 @@ from __future__ import annotations
 from repro.eval import format_table, table4_gate_scheduling
 
 
-def test_table4_gate_scheduling(benchmark, save_result):
-    rows = benchmark.pedantic(table4_gate_scheduling, rounds=1, iterations=1)
+def test_table4_gate_scheduling(benchmark, save_result, batch_options):
+    rows = benchmark.pedantic(lambda: table4_gate_scheduling(**batch_options), rounds=1, iterations=1)
     text = format_table(
         rows,
         ["circuit", "n", "alpha", "g", "circuit_order", "ours"],

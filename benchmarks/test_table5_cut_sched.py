@@ -5,8 +5,8 @@ from __future__ import annotations
 from repro.eval import format_table, table5_cut_scheduling
 
 
-def test_table5_cut_scheduling(benchmark, save_result):
-    rows = benchmark.pedantic(table5_cut_scheduling, rounds=1, iterations=1)
+def test_table5_cut_scheduling(benchmark, save_result, batch_options):
+    rows = benchmark.pedantic(lambda: table5_cut_scheduling(**batch_options), rounds=1, iterations=1)
     text = format_table(
         rows,
         ["circuit", "n", "alpha", "g", "channel_first", "time_first", "ours"],

@@ -46,6 +46,14 @@ def main() -> None:
         print(f"  compile time     : {encoded.compile_seconds * 1000:.1f} ms")
         print()
 
+    # The same compile, run through the pass pipeline for per-stage timings.
+    from repro import run_pipeline_method
+
+    result = run_pipeline_method(circuit, "ecmas_dd_min")
+    print("Per-stage timings (ecmas_dd_min):")
+    for stage, seconds in result.timings_dict().items():
+        print(f"  {stage:<16} {seconds * 1000:8.2f} ms")
+
 
 if __name__ == "__main__":
     main()

@@ -23,8 +23,19 @@ from repro.core import (
     compile_circuit,
     default_chip,
 )
+from repro.pipeline import (
+    BatchJob,
+    BatchResult,
+    PassContext,
+    Pipeline,
+    PipelineResult,
+    ResultCache,
+    build_pipeline,
+    run_batch,
+    run_pipeline_method,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -43,4 +54,13 @@ __all__ = [
     "OperationKind",
     "circuit_parallelism_degree",
     "chip_communication_capacity",
+    "Pipeline",
+    "PassContext",
+    "PipelineResult",
+    "build_pipeline",
+    "run_pipeline_method",
+    "BatchJob",
+    "BatchResult",
+    "ResultCache",
+    "run_batch",
 ]

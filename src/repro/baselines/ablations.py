@@ -1,7 +1,9 @@
 """Ablation configurations used by the sensitivity studies (Tables II–V).
 
-Each function compiles a circuit with exactly one Ecmas component replaced by
-the baseline the paper compares against:
+Each function compiles a circuit with exactly one Ecmas pass replaced by the
+baseline the paper compares against, via the parameterised method names of
+:mod:`repro.pipeline.registry` (``location:<s>``, ``cut_init:<s>``,
+``gate_order:<s>``, ``cut_sched:<s>``):
 
 * Table II (location initialisation): trivial snake vs single-attempt Metis vs
   Ecmas multi-attempt placement.
@@ -13,22 +15,10 @@ the baseline the paper compares against:
 from __future__ import annotations
 
 from repro.chip.chip import Chip
-from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
-from repro.core.ecmas import EcmasOptions, compile_circuit
+from repro.core.ecmas import EcmasOptions
 from repro.core.schedule import EncodedCircuit
-
-
-def _dd_chip(circuit: Circuit, chip: Chip | None, code_distance: int) -> Chip:
-    if chip is not None:
-        return chip
-    return Chip.minimum_viable(SurfaceCodeModel.DOUBLE_DEFECT, circuit.num_qubits, code_distance)
-
-
-def _ls_chip(circuit: Circuit, chip: Chip | None, code_distance: int) -> Chip:
-    if chip is not None:
-        return chip
-    return Chip.minimum_viable(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, code_distance)
+from repro.pipeline.registry import run_pipeline_method
 
 
 # ------------------------------------------------------------------ Table II
@@ -41,18 +31,13 @@ def compile_with_location_strategy(
     """Ecmas (double defect, limited) with the location initialisation replaced.
 
     ``strategy`` is ``"trivial"``, ``"metis"``, ``"ecmas"``, ``"spectral"`` or
-    ``"random"``.
+    ``"random"``.  The ``metis`` column is single-attempt recursive bisection,
+    which :class:`~repro.pipeline.passes.InitialMappingPass` expresses as the
+    ``"metis"`` placement strategy.
     """
-    options = EcmasOptions(placement_strategy=strategy)
-    encoded = compile_circuit(
-        circuit,
-        model=SurfaceCodeModel.DOUBLE_DEFECT,
-        chip=_dd_chip(circuit, chip, code_distance),
-        scheduler="limited",
-        options=options,
-    )
-    encoded.method = f"ecmas-dd/location={strategy}"
-    return encoded
+    return run_pipeline_method(
+        circuit, f"location:{strategy}", chip=chip, code_distance=code_distance
+    ).encoded
 
 
 # ----------------------------------------------------------------- Table III
@@ -68,16 +53,13 @@ def compile_with_cut_initialisation(
     ``initialisation`` is ``"random"``, ``"maxcut"``, ``"bipartite_prefix"`` or
     ``"uniform"``.
     """
-    options = EcmasOptions(cut_initialisation=initialisation, seed=seed)
-    encoded = compile_circuit(
+    return run_pipeline_method(
         circuit,
-        model=SurfaceCodeModel.DOUBLE_DEFECT,
-        chip=_dd_chip(circuit, chip, code_distance),
-        scheduler="limited",
-        options=options,
-    )
-    encoded.method = f"ecmas-dd/cut_init={initialisation}"
-    return encoded
+        f"cut_init:{initialisation}",
+        chip=chip,
+        code_distance=code_distance,
+        options=EcmasOptions(seed=seed),
+    ).encoded
 
 
 # ------------------------------------------------------------------ Table IV
@@ -91,16 +73,9 @@ def compile_with_gate_order(
 
     ``priority`` is ``"circuit_order"``, ``"criticality"`` or ``"descendants"``.
     """
-    options = EcmasOptions(priority=priority)
-    encoded = compile_circuit(
-        circuit,
-        model=SurfaceCodeModel.LATTICE_SURGERY,
-        chip=_ls_chip(circuit, chip, code_distance),
-        scheduler="limited",
-        options=options,
-    )
-    encoded.method = f"ecmas-ls/priority={priority}"
-    return encoded
+    return run_pipeline_method(
+        circuit, f"gate_order:{priority}", chip=chip, code_distance=code_distance
+    ).encoded
 
 
 # ------------------------------------------------------------------- Table V
@@ -114,13 +89,6 @@ def compile_with_cut_scheduling(
 
     ``strategy`` is ``"channel_first"``, ``"time_first"`` or ``"adaptive"``.
     """
-    options = EcmasOptions(cut_strategy=strategy)
-    encoded = compile_circuit(
-        circuit,
-        model=SurfaceCodeModel.DOUBLE_DEFECT,
-        chip=_dd_chip(circuit, chip, code_distance),
-        scheduler="limited",
-        options=options,
-    )
-    encoded.method = f"ecmas-dd/cut_sched={strategy}"
-    return encoded
+    return run_pipeline_method(
+        circuit, f"cut_sched:{strategy}", chip=chip, code_distance=code_distance
+    ).encoded

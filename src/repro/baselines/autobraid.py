@@ -6,44 +6,22 @@ tile as having the same cut type, so every CNOT costs the three-cycle
 same-cut execution, and it neither customises the initial mapping to the
 communication graph nor adjusts channel bandwidth.
 
-This reimplementation reuses the double defect scheduling engine with that
-configuration: uniform cut types, the ``never_modify`` strategy, a trivial
-snake placement and no bandwidth adjusting.  Its cycle counts land in the
-``≈ 3×α`` regime the paper's Table I reports for AutoBraid.
+This reimplementation is the standard Ecmas pass pipeline with that
+configuration substituted in (see the ``"autobraid"`` entry of
+:mod:`repro.pipeline.registry`): uniform cut types, the ``never_modify``
+strategy, a trivial snake placement and no bandwidth adjusting.  Its cycle
+counts land in the ``≈ 3×α`` regime the paper's Table I reports for
+AutoBraid.
 """
 
 from __future__ import annotations
 
 from repro.chip.chip import Chip
-from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
-from repro.core.cut_decisions import never_modify_strategy
-from repro.core.cut_types import uniform_cut_types
-from repro.core.mapping import build_initial_mapping
-from repro.core.priorities import criticality_priority
 from repro.core.schedule import EncodedCircuit
-from repro.core.scheduler_dd import DoubleDefectScheduler
-from repro.errors import SchedulingError
+from repro.pipeline.registry import run_pipeline_method
 
 
 def compile_autobraid(circuit: Circuit, chip: Chip | None = None, code_distance: int = 3) -> EncodedCircuit:
     """Compile ``circuit`` with the AutoBraid baseline on a double defect chip."""
-    if chip is None:
-        chip = Chip.minimum_viable(SurfaceCodeModel.DOUBLE_DEFECT, circuit.num_qubits, code_distance)
-    if chip.model is not SurfaceCodeModel.DOUBLE_DEFECT:
-        raise SchedulingError("AutoBraid targets the double defect model")
-    mapping = build_initial_mapping(
-        circuit,
-        chip,
-        uniform_cut_types(circuit.num_qubits),
-        placement_strategy="trivial",
-        adjust=False,
-    )
-    scheduler = DoubleDefectScheduler(
-        circuit,
-        mapping,
-        priority=criticality_priority,
-        cut_strategy=never_modify_strategy,
-        method="autobraid",
-    )
-    return scheduler.run()
+    return run_pipeline_method(circuit, "autobraid", chip=chip, code_distance=code_distance).encoded

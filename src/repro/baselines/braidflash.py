@@ -3,50 +3,19 @@
 Braidflash reduces braid-conflict latency by giving priority to CNOT gates on
 the critical path, but like AutoBraid it is cut-type oblivious and keeps the
 dispatch order close to the program order otherwise.  We model it as the
-double defect engine with uniform cut types, the ``never_modify`` strategy,
-program-order dispatch and a plain (non-congestion-aware) router.
+standard pass pipeline with uniform cut types, the ``never_modify`` strategy,
+critical-path-then-program-order dispatch and a plain (non-congestion-aware)
+router — the ``"braidflash"`` entry of :mod:`repro.pipeline.registry`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 from repro.chip.chip import Chip
-from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
-from repro.circuits.dag import GateDAG
-from repro.core.cut_decisions import never_modify_strategy
-from repro.core.cut_types import uniform_cut_types
-from repro.core.mapping import build_initial_mapping
 from repro.core.schedule import EncodedCircuit
-from repro.core.scheduler_dd import DoubleDefectScheduler
-from repro.errors import SchedulingError
-
-
-def _braidflash_priority(dag: GateDAG, ready: Sequence[int]) -> list[int]:
-    """Critical-path gates first, then program order (no descendant tie-break)."""
-    return sorted(ready, key=lambda node: (-dag.criticality(node), node))
+from repro.pipeline.registry import run_pipeline_method
 
 
 def compile_braidflash(circuit: Circuit, chip: Chip | None = None, code_distance: int = 3) -> EncodedCircuit:
     """Compile ``circuit`` with the Braidflash-style baseline."""
-    if chip is None:
-        chip = Chip.minimum_viable(SurfaceCodeModel.DOUBLE_DEFECT, circuit.num_qubits, code_distance)
-    if chip.model is not SurfaceCodeModel.DOUBLE_DEFECT:
-        raise SchedulingError("Braidflash targets the double defect model")
-    mapping = build_initial_mapping(
-        circuit,
-        chip,
-        uniform_cut_types(circuit.num_qubits),
-        placement_strategy="trivial",
-        adjust=False,
-    )
-    scheduler = DoubleDefectScheduler(
-        circuit,
-        mapping,
-        priority=_braidflash_priority,
-        cut_strategy=never_modify_strategy,
-        congestion_weight=0.0,
-        method="braidflash",
-    )
-    return scheduler.run()
+    return run_pipeline_method(circuit, "braidflash", chip=chip, code_distance=code_distance).encoded

@@ -6,37 +6,19 @@ ancilla tiles, completing every CNOT in one clock cycle, but it uses a trivial
 which is why, in the paper's evaluation, it matches Ecmas on low-parallelism
 circuits yet fails to capitalise on larger chips.
 
-We model it with the lattice-surgery scheduling engine: trivial snake
-placement, no bandwidth adjusting, and per-cycle routing that attempts the
-ready gates shortest-separation-first (the usual greedy EDP packing order).
+We model it as the standard pass pipeline with trivial snake placement, no
+bandwidth adjusting, and per-cycle routing that attempts the ready gates
+shortest-separation-first (the usual greedy EDP packing order) — the
+``"edpci"`` entry of :mod:`repro.pipeline.registry`.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-
 from repro.chip.chip import Chip
-from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
-from repro.circuits.dag import GateDAG
 from repro.core.mapping import InitialMapping, build_initial_mapping
 from repro.core.schedule import EncodedCircuit
-from repro.core.scheduler_ls import LatticeSurgeryScheduler
-from repro.errors import SchedulingError
-from repro.partition.placement import Placement
-
-
-def _edp_priority_factory(placement: Placement):
-    """Order ready gates by tile separation (shortest first), then program order."""
-
-    def priority(dag: GateDAG, ready: Sequence[int]) -> list[int]:
-        def separation(node: int) -> int:
-            gate = dag.gate(node)
-            return placement.slot_of(gate.control).manhattan_distance(placement.slot_of(gate.target))
-
-        return sorted(ready, key=lambda node: (separation(node), node))
-
-    return priority
+from repro.pipeline.registry import run_pipeline_method
 
 
 def edpci_mapping(circuit: Circuit, chip: Chip) -> InitialMapping:
@@ -52,15 +34,4 @@ def edpci_mapping(circuit: Circuit, chip: Chip) -> InitialMapping:
 
 def compile_edpci(circuit: Circuit, chip: Chip | None = None, code_distance: int = 3) -> EncodedCircuit:
     """Compile ``circuit`` with the EDPCI baseline on a lattice surgery chip."""
-    if chip is None:
-        chip = Chip.minimum_viable(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, code_distance)
-    if chip.model is not SurfaceCodeModel.LATTICE_SURGERY:
-        raise SchedulingError("EDPCI targets the lattice surgery model")
-    mapping = edpci_mapping(circuit, chip)
-    scheduler = LatticeSurgeryScheduler(
-        circuit,
-        mapping,
-        priority=_edp_priority_factory(mapping.placement),
-        method="edpci",
-    )
-    return scheduler.run()
+    return run_pipeline_method(circuit, "edpci", chip=chip, code_distance=code_distance).encoded

@@ -7,9 +7,14 @@ Commands
     QASM file or a named built-in benchmark.
 ``compile``
     Run the Ecmas pipeline (or a baseline) and print the schedule summary,
-    optionally with the placement and a cycle timeline.
+    optionally with the placement, a cycle timeline and per-stage timings.
 ``table``
-    Regenerate one of the paper's tables (1-5) on the standard suites.
+    Regenerate one of the paper's tables (1-5) on the standard suites,
+    optionally fanning the per-cell compilations across worker processes
+    (``--jobs``) with an on-disk result cache (disable with ``--no-cache``).
+``batch``
+    Compile a list of circuits with a list of methods through the batch
+    engine and print one record per (circuit, method) pair.
 ``suite``
     List the built-in benchmark circuits and their statistics.
 """
@@ -23,10 +28,9 @@ from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits import qasm
 from repro.circuits.circuit import Circuit
 from repro.circuits.generators import default_suite, get_benchmark
-from repro.core import circuit_parallelism_degree, compile_circuit
+from repro.core import circuit_parallelism_degree
 from repro.errors import ReproError
 from repro.eval import (
-    compile_with_method,
     format_table,
     table1_overview,
     table2_location,
@@ -34,6 +38,8 @@ from repro.eval import (
     table4_gate_scheduling,
     table5_cut_scheduling,
 )
+from repro.pipeline.batch import DEFAULT_CACHE_DIR, BatchJob, ResultCache, run_batch
+from repro.pipeline.registry import run_pipeline_method
 from repro.verify import validate_encoded_circuit
 from repro import viz
 
@@ -60,6 +66,13 @@ def _load_circuit(spec: str) -> Circuit:
     return get_benchmark(spec).build()
 
 
+def _make_cache(args: argparse.Namespace) -> ResultCache | None:
+    """Build the result cache requested by ``--cache-dir`` / ``--no-cache``."""
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     print(f"circuit        : {circuit.name}")
@@ -75,9 +88,12 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args.circuit)
     model = _MODELS[args.model]
     if args.method == "ecmas":
-        encoded = compile_circuit(circuit, model=model, resources=args.resources, scheduler=args.scheduler)
+        result = run_pipeline_method(
+            circuit, "ecmas", model=model, resources=args.resources, scheduler=args.scheduler
+        )
     else:
-        encoded = compile_with_method(circuit, args.method)
+        result = run_pipeline_method(circuit, args.method)
+    encoded = result.encoded
     report = validate_encoded_circuit(circuit, encoded)
     print(f"method          : {encoded.method}")
     print(f"chip            : {encoded.chip.describe()}")
@@ -89,6 +105,11 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     if not report.valid:
         for error in report.errors[:5]:
             print(f"  error: {error}")
+    if args.stages:
+        print()
+        print("per-stage timings:")
+        for name, seconds in result.timings_dict().items():
+            print(f"  {name:<16} {seconds * 1000:8.2f} ms")
     if args.show_placement:
         print()
         print(viz.render_placement(encoded.chip, encoded.placement))
@@ -103,8 +124,50 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 
 def _cmd_table(args: argparse.Namespace) -> int:
     builder, title = _TABLES[args.number]
-    rows = builder()
+    cache = _make_cache(args)
+    rows = builder(jobs=args.jobs, cache=cache)
     print(format_table(rows, title=title))
+    if cache is not None:
+        print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.directory})")
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    if not methods:
+        raise ReproError("--methods needs at least one method name")
+    circuits = {spec: _load_circuit(spec) for spec in args.circuits}
+    jobs = [
+        BatchJob(
+            circuit=circuits[spec],
+            method=method,
+            circuit_name=spec,
+            code_distance=args.code_distance,
+            validate=args.validate,
+        )
+        for spec in args.circuits
+        for method in methods
+    ]
+    cache = _make_cache(args)
+    result = run_batch(jobs, workers=args.jobs, cache=cache)
+    rows = [
+        {
+            "circuit": record.circuit,
+            "method": record.method,
+            "n": record.num_qubits,
+            "alpha": record.alpha,
+            "g": record.num_cnots,
+            "cycles": record.cycles,
+            "compile_s": round(record.compile_seconds, 4),
+        }
+        for record in result.records
+    ]
+    print(format_table(rows, title=f"Batch results ({result.workers} workers)"))
+    if cache is not None:
+        print(
+            f"cache: {result.cache_hits} hits, {result.cache_misses} misses, "
+            f"{result.recompilations} compiled ({cache.directory})"
+        )
     return 0
 
 
@@ -124,6 +187,28 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         )
     print(format_table(rows, title="Built-in benchmark suite"))
     return 0
+
+
+def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for the batch engine (0 = one per CPU; default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (results are keyed by circuit, method, "
+        "options and the repro version — use this after editing the compiler itself)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=str(DEFAULT_CACHE_DIR),
+        metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -148,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="ecmas",
         help="'ecmas' (default) or an evaluation method name such as autobraid / edpci_min",
     )
+    compile_cmd.add_argument("--stages", action="store_true", help="print per-stage pipeline timings")
     compile_cmd.add_argument("--show-placement", action="store_true", help="render the tile placement")
     compile_cmd.add_argument("--timeline", type=int, metavar="N", help="print the first N cycles")
     compile_cmd.add_argument("--gantt", action="store_true", help="print a per-qubit occupancy chart")
@@ -155,7 +241,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     table = sub.add_parser("table", help="regenerate one of the paper's tables")
     table.add_argument("number", choices=sorted(_TABLES), help="table number (1-5)")
+    _add_batch_flags(table)
     table.set_defaults(func=_cmd_table)
+
+    batch = sub.add_parser("batch", help="compile circuits x methods through the batch engine")
+    batch.add_argument("circuits", nargs="+", help="QASM file paths or built-in benchmark names")
+    batch.add_argument(
+        "--methods",
+        default="ecmas_dd_min",
+        help="comma-separated method names (e.g. autobraid,ecmas_dd_min,edpci_min)",
+    )
+    batch.add_argument("--code-distance", type=int, default=3, metavar="D")
+    batch.add_argument("--validate", action="store_true", help="validate every schedule")
+    _add_batch_flags(batch)
+    batch.set_defaults(func=_cmd_batch)
 
     suite = sub.add_parser("suite", help="list the built-in benchmark circuits")
     suite.add_argument("--large", action="store_true", help="include the very large circuits")

@@ -7,6 +7,13 @@ placement, bandwidth adjusting, cut-type initialisation) and scheduling
 (Algorithm 1 for limited resources or Algorithm 2 / Ecmas-ReSu for sufficient
 resources) — returning an :class:`~repro.core.schedule.EncodedCircuit`.
 
+Since the pass-based refactor this function is a thin compatibility wrapper
+over :mod:`repro.pipeline`: the stages run as named passes
+(``profile → build_chip → init_cut_types → initial_mapping →
+bandwidth_adjust → select_scheduler → schedule → validate``) and callers who
+want per-stage timings or artifacts should use
+:func:`repro.pipeline.run_pipeline_method` directly.
+
 Example
 -------
 >>> from repro import compile_circuit, SurfaceCodeModel
@@ -19,43 +26,41 @@ True
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 
 from repro.chip.chip import Chip
 from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
-from repro.core.cut_decisions import get_strategy
+from repro.core.cut_decisions import STRATEGIES as _CUT_STRATEGIES
 from repro.core.cut_types import (
-    CutAssignment,
     bipartite_prefix_cut_types,
     maxcut_cut_types,
     random_cut_types,
     uniform_cut_types,
 )
 from repro.core.mapping import InitialMapping, build_initial_mapping
-from repro.core.metrics import chip_communication_capacity, circuit_parallelism_degree
-from repro.core.priorities import circuit_order_priority, criticality_priority, descendant_priority
-from repro.core.resu import schedule_resu_double_defect, schedule_resu_lattice_surgery
+from repro.core.metrics import circuit_parallelism_degree
 from repro.core.schedule import EncodedCircuit
-from repro.core.scheduler_dd import DoubleDefectScheduler
-from repro.core.scheduler_ls import LatticeSurgeryScheduler
 from repro.errors import SchedulingError
-
-_PRIORITIES = {
-    "criticality": criticality_priority,
-    "circuit_order": circuit_order_priority,
-    "descendants": descendant_priority,
-}
 
 #: Default code distance used throughout the evaluation (the cycle counts the
 #: paper reports are independent of d, which only scales the wall-clock time).
 DEFAULT_CODE_DISTANCE = 3
 
+#: Valid values for each validated :class:`EcmasOptions` field.
+VALID_PLACEMENT_STRATEGIES = frozenset({"ecmas", "metis", "trivial", "spectral", "random"})
+VALID_CUT_INITIALISATIONS = frozenset({"bipartite_prefix", "random", "maxcut", "uniform"})
+VALID_PRIORITIES = frozenset({"criticality", "circuit_order", "descendants"})
+VALID_CUT_STRATEGIES = frozenset(_CUT_STRATEGIES)
+
 
 @dataclass
 class EcmasOptions:
-    """Tuning knobs of the Ecmas pipeline (all default to the paper's choices)."""
+    """Tuning knobs of the Ecmas pipeline (all default to the paper's choices).
+
+    Every value is validated eagerly: an unknown ``priority`` or
+    ``cut_strategy`` fails at construction rather than mid-compile.
+    """
 
     placement_strategy: str = "ecmas"
     placement_attempts: int = 4
@@ -64,10 +69,31 @@ class EcmasOptions:
     cut_strategy: str = "adaptive"
     priority: str = "criticality"
     seed: int = 0
-    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_choice("placement_strategy", self.placement_strategy, VALID_PLACEMENT_STRATEGIES)
+        _check_choice("cut_initialisation", self.cut_initialisation, VALID_CUT_INITIALISATIONS)
+        _check_choice("cut_strategy", self.cut_strategy, VALID_CUT_STRATEGIES)
+        _check_choice("priority", self.priority, VALID_PRIORITIES)
+        if not isinstance(self.placement_attempts, int) or self.placement_attempts < 1:
+            raise SchedulingError(
+                f"placement_attempts must be a positive integer, got {self.placement_attempts!r}"
+            )
+
+    @classmethod
+    def field_names(cls) -> tuple[str, ...]:
+        """The option names, e.g. for CLI flag generation."""
+        return tuple(f.name for f in fields(cls))
 
 
-def _initial_cut_types(circuit: Circuit, options: EcmasOptions) -> CutAssignment:
+def _check_choice(field_name: str, value: str, valid: frozenset) -> None:
+    if value not in valid:
+        raise SchedulingError(
+            f"unknown {field_name} {value!r}; valid choices: {', '.join(sorted(valid))}"
+        )
+
+
+def _initial_cut_types(circuit: Circuit, options: EcmasOptions):
     name = options.cut_initialisation
     if name == "bipartite_prefix":
         return bipartite_prefix_cut_types(circuit.dag(), circuit.num_qubits)
@@ -77,7 +103,7 @@ def _initial_cut_types(circuit: Circuit, options: EcmasOptions) -> CutAssignment
         return maxcut_cut_types(circuit.communication_graph(), seed=options.seed)
     if name == "uniform":
         return uniform_cut_types(circuit.num_qubits)
-    raise SchedulingError(f"unknown cut initialisation {name!r}")
+    raise SchedulingError(f"unknown cut initialisation {name!r}")  # pragma: no cover - validated
 
 
 def default_chip(
@@ -85,20 +111,24 @@ def default_chip(
     model: SurfaceCodeModel,
     resources: str = "minimum",
     code_distance: int = DEFAULT_CODE_DISTANCE,
+    parallelism: int | None = None,
 ) -> Chip:
     """Build the chip for one of the paper's resource configurations.
 
     ``resources`` is one of ``"minimum"`` (minimum viable chip), ``"4x"``
     (four times the physical qubits) or ``"sufficient"`` (capacity covers the
-    circuit parallelism degree, the Ecmas-ReSu setting).
+    circuit parallelism degree, the Ecmas-ReSu setting).  For
+    ``"sufficient"``, a precomputed ``parallelism`` skips re-running
+    Para-Finding.
     """
     if resources == "minimum":
         return Chip.minimum_viable(model, circuit.num_qubits, code_distance)
     if resources == "4x":
         return Chip.four_x(model, circuit.num_qubits, code_distance)
     if resources == "sufficient":
-        parallelism = max(1, circuit_parallelism_degree(circuit))
-        return Chip.sufficient(model, circuit.num_qubits, code_distance, parallelism)
+        if parallelism is None:
+            parallelism = circuit_parallelism_degree(circuit)
+        return Chip.sufficient(model, circuit.num_qubits, code_distance, max(1, parallelism))
     raise SchedulingError(f"unknown resource configuration {resources!r}")
 
 
@@ -153,40 +183,15 @@ def compile_circuit(
     options:
         Pipeline tuning knobs; defaults reproduce the paper's configuration.
     """
-    options = options or EcmasOptions()
-    if chip is None:
-        chip = default_chip(circuit, model, resources=resources, code_distance=code_distance)
-    started = time.perf_counter()
-    mapping = prepare_mapping(circuit, chip, model, options)
+    from repro.pipeline.registry import run_pipeline_method
 
-    if scheduler == "auto":
-        parallelism = circuit_parallelism_degree(circuit)
-        use_resu = chip_communication_capacity(mapping.chip) >= parallelism
-    elif scheduler == "resu":
-        use_resu = True
-    elif scheduler == "limited":
-        use_resu = False
-    else:
-        raise SchedulingError(f"unknown scheduler {scheduler!r}")
-
-    priority = _PRIORITIES.get(options.priority)
-    if priority is None:
-        raise SchedulingError(f"unknown priority {options.priority!r}")
-
-    if model is SurfaceCodeModel.DOUBLE_DEFECT:
-        if use_resu:
-            encoded = schedule_resu_double_defect(circuit, mapping)
-        else:
-            encoded = DoubleDefectScheduler(
-                circuit,
-                mapping,
-                priority=priority,
-                cut_strategy=get_strategy(options.cut_strategy),
-            ).run()
-    else:
-        if use_resu:
-            encoded = schedule_resu_lattice_surgery(circuit, mapping)
-        else:
-            encoded = LatticeSurgeryScheduler(circuit, mapping, priority=priority).run()
-    encoded.compile_seconds = time.perf_counter() - started
-    return encoded
+    return run_pipeline_method(
+        circuit,
+        "ecmas",
+        model=model,
+        chip=chip,
+        resources=resources,
+        scheduler=scheduler,
+        code_distance=code_distance,
+        options=options,
+    ).encoded

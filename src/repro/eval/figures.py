@@ -20,12 +20,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from statistics import mean
 
-from repro.baselines import compile_autobraid, compile_edpci
 from repro.chip.chip import Chip
 from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.generators import parallelism_group
-from repro.core.ecmas import compile_circuit
 from repro.eval.runner import run_method
+from repro.pipeline.batch import BatchJob, run_batch
 
 #: Workload parameters of the paper's scalability study.
 FIGURE_NUM_QUBITS = 49
@@ -51,17 +50,30 @@ def figure11_parallelism(
     depth: int = FIGURE_DEPTH,
     code_distance: int = 3,
     seed: int = 0,
+    jobs: int | None = 1,
 ) -> list[SweepPoint]:
     """Figure 11: average cycles vs circuit parallelism degree on the minimum chip."""
     baseline_method = "edpci_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "autobraid"
     ecmas_method = "ecmas_ls_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "ecmas_dd_min"
+    groups = {
+        parallelism: parallelism_group(
+            num_qubits, depth, parallelism, group_size, seed=seed + parallelism
+        )
+        for parallelism in parallelisms
+    }
+    batch_jobs = [
+        BatchJob(circuit=circuit, method=method, code_distance=code_distance)
+        for parallelism in parallelisms
+        for method in (baseline_method, ecmas_method)
+        for circuit in groups[parallelism]
+    ]
+    batch = run_batch(batch_jobs, workers=jobs)
     points: list[SweepPoint] = []
+    cursor = 0
     for parallelism in parallelisms:
-        circuits = parallelism_group(num_qubits, depth, parallelism, group_size, seed=seed + parallelism)
         for method, series in ((baseline_method, "baseline"), (ecmas_method, "ecmas")):
-            records = [
-                run_method(circuit, method, code_distance=code_distance) for circuit in circuits
-            ]
+            records = batch.records[cursor : cursor + len(groups[parallelism])]
+            cursor += len(records)
             points.append(
                 SweepPoint(
                     x=float(parallelism),
@@ -97,20 +109,20 @@ def figure12_chip_size(
         for bandwidth in bandwidths:
             chip = Chip.for_bandwidth(model, num_qubits, code_distance, bandwidth)
             x = chip.physical_qubits / (code_distance**2)
+            ecmas_method = (
+                "ecmas_ls_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "ecmas_dd_min"
+            )
+            baseline_method = (
+                "edpci" if model is SurfaceCodeModel.LATTICE_SURGERY else "autobraid"
+            )
             for series in ("ecmas", "baseline"):
-                cycles_samples: list[float] = []
-                compile_samples: list[float] = []
-                for circuit in circuits:
-                    if series == "ecmas":
-                        encoded = compile_circuit(
-                            circuit, model=model, chip=chip, scheduler="limited", code_distance=code_distance
-                        )
-                    elif model is SurfaceCodeModel.LATTICE_SURGERY:
-                        encoded = compile_edpci(circuit, chip=chip, code_distance=code_distance)
-                    else:
-                        encoded = compile_autobraid(circuit, chip=chip, code_distance=code_distance)
-                    cycles_samples.append(encoded.num_cycles)
-                    compile_samples.append(encoded.compile_seconds)
+                method = ecmas_method if series == "ecmas" else baseline_method
+                records = [
+                    run_method(circuit, method, chip=chip, code_distance=code_distance)
+                    for circuit in circuits
+                ]
+                cycles_samples = [record.cycles for record in records]
+                compile_samples = [record.compile_seconds for record in records]
                 series_points[series].append(
                     SweepPoint(
                         x=x,

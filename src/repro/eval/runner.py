@@ -2,7 +2,7 @@
 
 The evaluation tables and figures are built from :class:`ExperimentRecord`
 rows produced by :func:`run_method`.  Method names follow the columns of the
-paper's tables:
+paper's tables and are resolved by :mod:`repro.pipeline.registry`:
 
 ``autobraid``, ``braidflash``
     Double defect baselines on the minimum viable chip.
@@ -13,21 +13,23 @@ paper's tables:
     EDPCI baseline for lattice surgery on the minimum viable / 4x chip.
 ``ecmas_ls_min``, ``ecmas_ls_4x``, ``ecmas_ls_resu``
     Ecmas for lattice surgery.
+``location:<s>``, ``cut_init:<s>``, ``gate_order:<s>``, ``cut_sched:<s>``
+    The ablation columns of Tables II–V.
+
+``compile_seconds`` has a single source of truth: the per-stage timings of
+the :class:`~repro.pipeline.framework.PipelineResult` (validation time is
+excluded).  The per-stage breakdown is kept in ``record.extra["stages"]``.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
-from repro.baselines import compile_autobraid, compile_braidflash, compile_edpci
 from repro.chip.chip import Chip
-from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
-from repro.core.ecmas import EcmasOptions, compile_circuit
+from repro.core.ecmas import EcmasOptions
 from repro.core.schedule import EncodedCircuit
-from repro.errors import ReproError
-from repro.verify import validate_encoded_circuit
+from repro.pipeline.registry import run_pipeline_method
 
 
 @dataclass
@@ -52,16 +54,10 @@ class ExperimentRecord:
             return None
         return self.cycles / self.paper_cycles
 
-
-#: Method name -> (surface code model, resources) for the Ecmas configurations.
-_ECMAS_CONFIGS: dict[str, tuple[SurfaceCodeModel, str, str]] = {
-    "ecmas_dd_min": (SurfaceCodeModel.DOUBLE_DEFECT, "minimum", "limited"),
-    "ecmas_dd_4x": (SurfaceCodeModel.DOUBLE_DEFECT, "4x", "limited"),
-    "ecmas_dd_resu": (SurfaceCodeModel.DOUBLE_DEFECT, "sufficient", "resu"),
-    "ecmas_ls_min": (SurfaceCodeModel.LATTICE_SURGERY, "minimum", "limited"),
-    "ecmas_ls_4x": (SurfaceCodeModel.LATTICE_SURGERY, "4x", "limited"),
-    "ecmas_ls_resu": (SurfaceCodeModel.LATTICE_SURGERY, "sufficient", "resu"),
-}
+    @property
+    def stage_seconds(self) -> dict[str, float]:
+        """Per-stage compile-time breakdown (empty for legacy records)."""
+        return self.extra.get("stages", {})
 
 
 def compile_with_method(
@@ -72,28 +68,9 @@ def compile_with_method(
     options: EcmasOptions | None = None,
 ) -> EncodedCircuit:
     """Compile ``circuit`` with a named method (see module docstring)."""
-    if method == "autobraid":
-        return compile_autobraid(circuit, chip=chip, code_distance=code_distance)
-    if method == "braidflash":
-        return compile_braidflash(circuit, chip=chip, code_distance=code_distance)
-    if method == "edpci_min":
-        chip = chip or Chip.minimum_viable(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, code_distance)
-        return compile_edpci(circuit, chip=chip, code_distance=code_distance)
-    if method == "edpci_4x":
-        chip = chip or Chip.four_x(SurfaceCodeModel.LATTICE_SURGERY, circuit.num_qubits, code_distance)
-        return compile_edpci(circuit, chip=chip, code_distance=code_distance)
-    if method in _ECMAS_CONFIGS:
-        model, resources, scheduler = _ECMAS_CONFIGS[method]
-        return compile_circuit(
-            circuit,
-            model=model,
-            chip=chip,
-            resources=resources,
-            scheduler=scheduler,
-            code_distance=code_distance,
-            options=options,
-        )
-    raise ReproError(f"unknown evaluation method {method!r}")
+    return run_pipeline_method(
+        circuit, method, chip=chip, code_distance=code_distance, options=options
+    ).encoded
 
 
 def run_method(
@@ -107,11 +84,15 @@ def run_method(
     options: EcmasOptions | None = None,
 ) -> ExperimentRecord:
     """Compile and measure one data point; optionally validate the schedule."""
-    started = time.perf_counter()
-    encoded = compile_with_method(circuit, method, code_distance=code_distance, chip=chip, options=options)
-    elapsed = time.perf_counter() - started
-    if validate:
-        validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+    result = run_pipeline_method(
+        circuit,
+        method,
+        chip=chip,
+        code_distance=code_distance,
+        options=options,
+        validate=validate,
+    )
+    encoded = result.encoded
     return ExperimentRecord(
         circuit=circuit_name or circuit.name,
         method=method,
@@ -119,7 +100,8 @@ def run_method(
         alpha=circuit.depth(),
         num_cnots=circuit.num_cnots,
         cycles=encoded.num_cycles,
-        compile_seconds=elapsed,
+        compile_seconds=result.compile_seconds,
         chip=encoded.chip.describe(),
         paper_cycles=paper_cycles,
+        extra={"stages": result.timings_dict()},
     )

@@ -5,20 +5,20 @@ containing the measured cycle counts for each method column, alongside the
 paper-reported values where available.  :mod:`repro.eval.report` renders them
 as text tables, and the benchmark harness under ``benchmarks/`` regenerates
 them under pytest-benchmark.
+
+All tables run through the batch engine (:mod:`repro.pipeline.batch`): pass
+``jobs=N`` to fan the per-cell compilations across ``N`` worker processes and
+``cache=`` a directory / :class:`~repro.pipeline.batch.ResultCache` to make
+warm reruns free.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from pathlib import Path
 
-from repro.baselines import (
-    compile_with_cut_initialisation,
-    compile_with_cut_scheduling,
-    compile_with_gate_order,
-    compile_with_location_strategy,
-)
 from repro.circuits.generators import BenchmarkSpec, default_suite, sensitivity_suite
-from repro.eval.runner import ExperimentRecord, run_method
+from repro.pipeline.batch import BatchJob, ResultCache, run_batch
 
 #: The method columns of Table I, in the paper's order.
 TABLE1_METHODS: tuple[str, ...] = (
@@ -31,6 +31,75 @@ TABLE1_METHODS: tuple[str, ...] = (
     "ecmas_ls_4x",
 )
 
+#: Ablation method names backing each column of Tables II–V.
+TABLE2_COLUMNS: dict[str, str] = {
+    "trivial": "location:trivial",
+    "metis": "location:metis",
+    "ours": "location:ecmas",
+}
+TABLE3_COLUMNS: dict[str, str] = {
+    "random": "cut_init:random",
+    "maxcut": "cut_init:maxcut",
+    "ours": "cut_init:bipartite_prefix",
+}
+TABLE4_COLUMNS: dict[str, str] = {
+    "circuit_order": "gate_order:circuit_order",
+    "ours": "gate_order:criticality",
+}
+TABLE5_COLUMNS: dict[str, str] = {
+    "channel_first": "cut_sched:channel_first",
+    "time_first": "cut_sched:time_first",
+    "ours": "cut_sched:adaptive",
+}
+
+
+def _run_grid(
+    specs: Sequence[BenchmarkSpec],
+    columns: dict[str, str],
+    code_distance: int,
+    validate: bool,
+    jobs: int | None,
+    cache: ResultCache | Path | str | None,
+    paper_lookup: bool = False,
+) -> list[dict]:
+    """Compile every (circuit, column) cell through the batch engine."""
+    circuits = [spec.build() for spec in specs]
+    batch_jobs: list[BatchJob] = []
+    for spec, circuit in zip(specs, circuits):
+        for method in columns.values():
+            batch_jobs.append(
+                BatchJob(
+                    circuit=circuit,
+                    method=method,
+                    circuit_name=spec.name,
+                    code_distance=code_distance,
+                    paper_cycles=(spec.paper_cycles or {}).get(method) if paper_lookup else None,
+                    validate=validate,
+                )
+            )
+    batch = run_batch(batch_jobs, workers=jobs, cache=cache)
+
+    rows: list[dict] = []
+    cursor = 0
+    for spec, circuit in zip(specs, circuits):
+        row: dict = {
+            "circuit": spec.name,
+            "n": circuit.num_qubits,
+            "alpha": circuit.depth(),
+            "g": circuit.num_cnots,
+        }
+        if paper_lookup:
+            row["paper_alpha"] = spec.paper_alpha
+            row["paper_g"] = spec.paper_g
+        for column in columns:
+            record = batch.records[cursor]
+            cursor += 1
+            row[column] = record.cycles
+            if record.paper_cycles is not None:
+                row[f"paper_{column}"] = record.paper_cycles
+        rows.append(row)
+    return rows
+
 
 def table1_overview(
     suite: Sequence[BenchmarkSpec] | None = None,
@@ -38,116 +107,71 @@ def table1_overview(
     include_large: bool = False,
     validate: bool = False,
     code_distance: int = 3,
+    jobs: int | None = 1,
+    cache: ResultCache | Path | str | None = None,
 ) -> list[dict]:
     """Table I: cycle counts of every method over the benchmark suite."""
     specs = list(suite) if suite is not None else default_suite(include_large=include_large)
-    rows: list[dict] = []
-    for spec in specs:
-        circuit = spec.build()
-        row: dict = {
-            "circuit": spec.name,
-            "n": circuit.num_qubits,
-            "alpha": circuit.depth(),
-            "g": circuit.num_cnots,
-            "paper_alpha": spec.paper_alpha,
-            "paper_g": spec.paper_g,
-        }
-        for method in methods:
-            paper = (spec.paper_cycles or {}).get(method)
-            record = run_method(
-                circuit,
-                method,
-                circuit_name=spec.name,
-                code_distance=code_distance,
-                paper_cycles=paper,
-                validate=validate,
-            )
-            row[method] = record.cycles
-            if paper is not None:
-                row[f"paper_{method}"] = paper
-        rows.append(row)
-    return rows
+    return _run_grid(
+        specs,
+        {method: method for method in methods},
+        code_distance,
+        validate,
+        jobs,
+        cache,
+        paper_lookup=True,
+    )
 
 
 def _sensitivity_rows(
-    column_runs: dict[str, callable],
+    columns: dict[str, str],
     suite: Sequence[BenchmarkSpec] | None,
     code_distance: int,
+    jobs: int | None = 1,
+    cache: ResultCache | Path | str | None = None,
 ) -> list[dict]:
     specs = list(suite) if suite is not None else sensitivity_suite()
-    rows: list[dict] = []
-    for spec in specs:
-        circuit = spec.build()
-        row: dict = {
-            "circuit": spec.name,
-            "n": circuit.num_qubits,
-            "alpha": circuit.depth(),
-            "g": circuit.num_cnots,
-        }
-        for column, compile_fn in column_runs.items():
-            encoded = compile_fn(circuit, code_distance)
-            row[column] = encoded.num_cycles
-        rows.append(row)
-    return rows
+    return _run_grid(specs, columns, code_distance, False, jobs, cache)
 
 
 def table2_location(
-    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+    suite: Sequence[BenchmarkSpec] | None = None,
+    code_distance: int = 3,
+    jobs: int | None = 1,
+    cache: ResultCache | Path | str | None = None,
 ) -> list[dict]:
     """Table II: location-initialisation ablation (Trivial / Metis / Ours)."""
-    return _sensitivity_rows(
-        {
-            "trivial": lambda c, d: compile_with_location_strategy(c, "trivial", code_distance=d),
-            "metis": lambda c, d: compile_with_location_strategy(c, "metis", code_distance=d),
-            "ours": lambda c, d: compile_with_location_strategy(c, "ecmas", code_distance=d),
-        },
-        suite,
-        code_distance,
-    )
+    return _sensitivity_rows(TABLE2_COLUMNS, suite, code_distance, jobs, cache)
 
 
 def table3_cut_initialisation(
-    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+    suite: Sequence[BenchmarkSpec] | None = None,
+    code_distance: int = 3,
+    jobs: int | None = 1,
+    cache: ResultCache | Path | str | None = None,
 ) -> list[dict]:
     """Table III: cut-type initialisation ablation (Random / Max-cut / Ours)."""
-    return _sensitivity_rows(
-        {
-            "random": lambda c, d: compile_with_cut_initialisation(c, "random", code_distance=d),
-            "maxcut": lambda c, d: compile_with_cut_initialisation(c, "maxcut", code_distance=d),
-            "ours": lambda c, d: compile_with_cut_initialisation(c, "bipartite_prefix", code_distance=d),
-        },
-        suite,
-        code_distance,
-    )
+    return _sensitivity_rows(TABLE3_COLUMNS, suite, code_distance, jobs, cache)
 
 
 def table4_gate_scheduling(
-    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+    suite: Sequence[BenchmarkSpec] | None = None,
+    code_distance: int = 3,
+    jobs: int | None = 1,
+    cache: ResultCache | Path | str | None = None,
 ) -> list[dict]:
     """Table IV: gate-scheduling ablation in the lattice surgery model."""
-    return _sensitivity_rows(
-        {
-            "circuit_order": lambda c, d: compile_with_gate_order(c, "circuit_order", code_distance=d),
-            "ours": lambda c, d: compile_with_gate_order(c, "criticality", code_distance=d),
-        },
-        suite,
-        code_distance,
-    )
+    return _sensitivity_rows(TABLE4_COLUMNS, suite, code_distance, jobs, cache)
 
 
 def table5_cut_scheduling(
-    suite: Sequence[BenchmarkSpec] | None = None, code_distance: int = 3
+    suite: Sequence[BenchmarkSpec] | None = None,
+    code_distance: int = 3,
+    jobs: int | None = 1,
+    cache: ResultCache | Path | str | None = None,
 ) -> list[dict]:
     """Table V: cut-type scheduling ablation (Channel-first / Time-first / Ours)."""
-    return _sensitivity_rows(
-        {
-            "channel_first": lambda c, d: compile_with_cut_scheduling(c, "channel_first", code_distance=d),
-            "time_first": lambda c, d: compile_with_cut_scheduling(c, "time_first", code_distance=d),
-            "ours": lambda c, d: compile_with_cut_scheduling(c, "adaptive", code_distance=d),
-        },
-        suite,
-        code_distance,
-    )
+    return _sensitivity_rows(TABLE5_COLUMNS, suite, code_distance, jobs, cache)
 
 
 def summarise_reduction(rows: list[dict], baseline: str, ours: str) -> dict:

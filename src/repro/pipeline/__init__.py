@@ -1,0 +1,78 @@
+"""Composable compilation pipeline and parallel batch-evaluation engine.
+
+* :mod:`repro.pipeline.framework` — :class:`Pass`, :class:`PassContext`,
+  :class:`Pipeline`, :class:`PipelineResult` with per-stage timings.
+* :mod:`repro.pipeline.passes` — the named Ecmas stages
+  (``profile → build_chip → init_cut_types → initial_mapping →
+  bandwidth_adjust → select_scheduler → schedule → validate``).
+* :mod:`repro.pipeline.registry` — method names (Table I columns, baselines,
+  ablation families) resolved to pass-substituted pipelines.
+* :mod:`repro.pipeline.batch` — ``(circuit, method)`` job lists fanned across
+  a process pool with a content-keyed on-disk result cache.
+"""
+
+from repro.pipeline.batch import (
+    BatchJob,
+    BatchResult,
+    ResultCache,
+    execute_job,
+    resolve_workers,
+    run_batch,
+)
+from repro.pipeline.framework import (
+    Pass,
+    PassContext,
+    Pipeline,
+    PipelineError,
+    PipelineResult,
+    StageTiming,
+)
+from repro.pipeline.passes import (
+    BandwidthAdjustPass,
+    BuildChipPass,
+    InitCutTypesPass,
+    InitialMappingPass,
+    ProfileCircuitPass,
+    SchedulePass,
+    SelectSchedulerPass,
+    ValidatePass,
+)
+from repro.pipeline.registry import (
+    MethodSpec,
+    build_pipeline,
+    register_method,
+    registered_methods,
+    resolve_method,
+    run_pipeline_method,
+    standard_passes,
+)
+
+__all__ = [
+    "Pass",
+    "PassContext",
+    "Pipeline",
+    "PipelineError",
+    "PipelineResult",
+    "StageTiming",
+    "ProfileCircuitPass",
+    "BuildChipPass",
+    "InitCutTypesPass",
+    "InitialMappingPass",
+    "BandwidthAdjustPass",
+    "SelectSchedulerPass",
+    "SchedulePass",
+    "ValidatePass",
+    "MethodSpec",
+    "standard_passes",
+    "register_method",
+    "registered_methods",
+    "resolve_method",
+    "build_pipeline",
+    "run_pipeline_method",
+    "BatchJob",
+    "BatchResult",
+    "ResultCache",
+    "run_batch",
+    "execute_job",
+    "resolve_workers",
+]

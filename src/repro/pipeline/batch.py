@@ -1,0 +1,234 @@
+"""Parallel batch evaluation with a content-keyed on-disk result cache.
+
+The evaluation tables and figures all reduce to the same shape of work: a
+list of ``(circuit, method)`` jobs, each producing one
+:class:`~repro.eval.runner.ExperimentRecord`.  :func:`run_batch` fans such a
+list across a :mod:`multiprocessing` pool and memoises results on disk, keyed
+by a SHA-256 fingerprint of everything that determines the outcome — the
+circuit's gate list, the method name, the chip, the code distance and the
+options.  Because every compile is deterministic for a fixed seed, a cache
+hit is exact: a warm rerun of a table recompiles nothing.
+
+Example
+-------
+>>> from repro.circuits.generators import get_benchmark
+>>> from repro.pipeline.batch import BatchJob, run_batch
+>>> jobs = [BatchJob(get_benchmark("dnn_n8").build(), m)
+...         for m in ("autobraid", "ecmas_dd_min")]
+>>> result = run_batch(jobs, workers=2)
+>>> [r.method for r in result.records]
+['autobraid', 'ecmas_dd_min']
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.chip.chip import Chip
+from repro.circuits.circuit import Circuit
+from repro.core.ecmas import EcmasOptions
+
+#: Bump when a change invalidates previously cached results (scheduler or
+#: record format changes).
+CACHE_FORMAT_VERSION = 1
+
+#: Default cache location, overridable via the ``REPRO_CACHE_DIR`` variable.
+DEFAULT_CACHE_DIR = Path(
+    os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "repro")
+)
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One (circuit, method) compilation request."""
+
+    circuit: Circuit
+    method: str
+    circuit_name: str | None = None
+    code_distance: int = 3
+    chip: Chip | None = None
+    options: EcmasOptions | None = None
+    paper_cycles: int | None = None
+    validate: bool = False
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this job's result."""
+        from repro import __version__
+
+        payload = {
+            "v": CACHE_FORMAT_VERSION,
+            "repro": __version__,
+            "circuit": _circuit_key(self.circuit),
+            "method": self.method,
+            "code_distance": self.code_distance,
+            "chip": _chip_key(self.chip),
+            "options": asdict(self.options) if self.options is not None else None,
+            "validate": self.validate,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _circuit_key(circuit: Circuit) -> list:
+    return [
+        circuit.num_qubits,
+        [[g.name, list(g.qubits), list(g.params)] for g in circuit],
+    ]
+
+
+def _chip_key(chip: Chip | None) -> list | None:
+    if chip is None:
+        return None
+    return [
+        chip.model.name,
+        chip.code_distance,
+        chip.tile_rows,
+        chip.tile_cols,
+        list(chip.h_bandwidths),
+        list(chip.v_bandwidths),
+        chip.side,
+    ]
+
+
+class ResultCache:
+    """A directory of JSON-serialised experiment records, one per job hash."""
+
+    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR):
+        self.directory = Path(directory).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, job: BatchJob):
+        """Return the cached record for ``job``, or ``None`` (counts hit/miss)."""
+        from repro.eval.runner import ExperimentRecord
+
+        path = self._path(job.fingerprint())
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            record = ExperimentRecord(**payload)
+        except (OSError, ValueError, TypeError):
+            # Unreadable, corrupt or schema-skewed entries degrade to a miss.
+            self.misses += 1
+            return None
+        self.hits += 1
+        # Presentation metadata is not part of the fingerprint; restamp it so
+        # a hit returns exactly what a fresh compile of this job would.
+        record.circuit = job.circuit_name or job.circuit.name
+        record.paper_cycles = job.paper_cycles
+        return record
+
+    def put(self, job: BatchJob, record) -> None:
+        """Persist ``record`` for ``job``."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(job.fingerprint())
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(asdict(record), sort_keys=True), encoding="utf-8")
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cached record; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+
+@dataclass
+class BatchResult:
+    """Records for every job (in job order) plus cache counters."""
+
+    records: list = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+
+    @property
+    def recompilations(self) -> int:
+        """Jobs that were actually compiled (i.e. not served from the cache)."""
+        return len(self.records) - self.cache_hits
+
+
+def execute_job(job: BatchJob):
+    """Compile one job in the current process (the pool worker entry point)."""
+    from repro.eval.runner import run_method
+
+    return run_method(
+        job.circuit,
+        job.method,
+        circuit_name=job.circuit_name,
+        code_distance=job.code_distance,
+        chip=job.chip,
+        paper_cycles=job.paper_cycles,
+        validate=job.validate,
+        options=job.options,
+    )
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a worker count (``None``/``0`` → one per CPU)."""
+    if workers is None or workers <= 0:
+        return os.cpu_count() or 1
+    return workers
+
+
+def run_batch(
+    jobs: list[BatchJob],
+    workers: int | None = 1,
+    cache: ResultCache | Path | str | None = None,
+) -> BatchResult:
+    """Run every job, fanning cache misses across a process pool.
+
+    Parameters
+    ----------
+    jobs:
+        The compilation requests; the result's ``records`` match their order.
+    workers:
+        Pool size.  ``1`` (the default) runs in-process with no pool overhead;
+        ``None`` or ``0`` uses one worker per CPU.
+    cache:
+        A :class:`ResultCache`, a directory path to build one from, or
+        ``None`` to disable caching.
+    """
+    workers = resolve_workers(workers)
+    if isinstance(cache, (str, Path)):
+        cache = ResultCache(cache)
+
+    result = BatchResult(records=[None] * len(jobs), workers=workers)
+    # The cache counters are cumulative across batches; report per-batch deltas.
+    hits_before = cache.hits if cache is not None else 0
+    misses_before = cache.misses if cache is not None else 0
+    pending: list[tuple[int, BatchJob]] = []
+    for index, job in enumerate(jobs):
+        record = cache.get(job) if cache is not None else None
+        if record is not None:
+            result.records[index] = record
+        else:
+            pending.append((index, job))
+    if cache is not None:
+        result.cache_hits = cache.hits - hits_before
+        result.cache_misses = cache.misses - misses_before
+
+    if pending:
+        if workers > 1 and len(pending) > 1:
+            indices = [index for index, _ in pending]
+            with multiprocessing.Pool(min(workers, len(pending))) as pool:
+                records = pool.map(execute_job, [job for _, job in pending], chunksize=1)
+            for index, record in zip(indices, records):
+                result.records[index] = record
+        else:
+            for index, job in pending:
+                result.records[index] = execute_job(job)
+        if cache is not None:
+            for index, job in pending:
+                cache.put(job, result.records[index])
+    return result

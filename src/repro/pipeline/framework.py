@@ -1,0 +1,219 @@
+"""The pass framework: contexts, passes, pipelines and their results.
+
+A :class:`Pipeline` is an ordered list of :class:`Pass` instances that each
+transform a shared mutable :class:`PassContext`.  The standard Ecmas flow is
+expressed as the pass sequence
+
+``ProfileCircuit → BuildChip → InitCutTypes → InitialMapping →
+BandwidthAdjust → SelectScheduler → Schedule → Validate``
+
+and every baseline / ablation is the same sequence with one or two passes
+substituted by a differently configured instance (see
+:mod:`repro.pipeline.registry`).  Running a pipeline produces a
+:class:`PipelineResult` carrying the encoded circuit together with per-stage
+wall-clock timings, which is the single source of truth for compile times in
+the evaluation harness.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.chip.chip import Chip
+from repro.chip.geometry import SurfaceCodeModel
+from repro.circuits.circuit import Circuit
+from repro.circuits.comm_graph import CommunicationGraph
+from repro.circuits.dag import GateDAG
+from repro.core.cut_types import CutAssignment
+from repro.core.mapping import InitialMapping
+from repro.core.schedule import EncodedCircuit
+from repro.errors import ReproError
+
+
+class PipelineError(ReproError):
+    """A pass was run on a context missing one of its prerequisites."""
+
+
+@dataclass
+class PassContext:
+    """Mutable state threaded through the passes of one compilation.
+
+    The first block holds the compilation *request*; the remaining fields are
+    artifacts filled in by passes.  Passes read the artifacts of their
+    predecessors via the ``require_*`` accessors, which raise
+    :class:`PipelineError` with the missing prerequisite's name instead of an
+    ``AttributeError`` deep inside a scheduler.
+    """
+
+    circuit: Circuit
+    model: SurfaceCodeModel
+    options: "EcmasOptions"  # noqa: F821 - forward reference, see repro.core.ecmas
+    code_distance: int = 3
+    chip: Chip | None = None
+    resources: str = "minimum"
+    scheduler: str = "auto"
+    validate: bool = False
+
+    # -- artifacts (produced by passes) -----------------------------------
+    dag: GateDAG | None = None
+    comm_graph: CommunicationGraph | None = None
+    parallelism: int | None = None
+    cut_types: CutAssignment | None = None
+    shape: tuple[int, int] | None = None
+    placement: object | None = None
+    mapping_cost: float | None = None
+    mapping: InitialMapping | None = None
+    use_resu: bool | None = None
+    priority_fn: Callable | None = None
+    cut_strategy_fn: Callable | None = None
+    congestion_weight: float | None = None
+    method_label: str | None = None
+    encoded: EncodedCircuit | None = None
+    artifacts: dict = field(default_factory=dict)
+
+    def require_chip(self) -> Chip:
+        if self.chip is None:
+            raise PipelineError("no chip in context — run BuildChip first")
+        return self.chip
+
+    def require_dag(self) -> GateDAG:
+        if self.dag is None:
+            raise PipelineError("no gate DAG in context — run ProfileCircuit first")
+        return self.dag
+
+    def ensure_parallelism(self) -> int:
+        """Circuit parallelism degree ``gPM``, computed lazily.
+
+        Para-Finding is only needed by the ``"auto"`` scheduler choice and
+        the ``"sufficient"`` resource configuration; methods pinned to
+        ``"limited"`` never pay for it.
+        """
+        if self.parallelism is None:
+            from repro.core.metrics import para_finding
+
+            dag = self.require_dag()
+            self.parallelism = para_finding(dag).parallelism if len(dag) else 0
+        return self.parallelism
+
+    def require_comm_graph(self) -> CommunicationGraph:
+        if self.comm_graph is None:
+            raise PipelineError("no communication graph in context — run ProfileCircuit first")
+        return self.comm_graph
+
+    def require_mapping(self) -> InitialMapping:
+        if self.mapping is None:
+            raise PipelineError("no initial mapping in context — run BandwidthAdjust first")
+        return self.mapping
+
+    def require_encoded(self) -> EncodedCircuit:
+        if self.encoded is None:
+            raise PipelineError("no encoded circuit in context — run Schedule first")
+        return self.encoded
+
+
+class Pass:
+    """One named stage of a compilation pipeline.
+
+    Subclasses set :attr:`name` and implement :meth:`run`.  Stages whose time
+    should not count towards the reported compile time (validation,
+    diagnostics) set ``counts_as_compile = False``.
+    """
+
+    name: str = "pass"
+    counts_as_compile: bool = True
+
+    def run(self, ctx: PassContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Wall-clock seconds spent in one pass."""
+
+    name: str
+    seconds: float
+    counts_as_compile: bool = True
+
+
+@dataclass
+class PipelineResult:
+    """The outcome of running a pipeline: encoded circuit plus instrumentation."""
+
+    context: PassContext
+    timings: tuple[StageTiming, ...]
+
+    @property
+    def encoded(self) -> EncodedCircuit:
+        """The scheduled circuit (raises if the pipeline had no Schedule pass)."""
+        return self.context.require_encoded()
+
+    @property
+    def compile_seconds(self) -> float:
+        """Total seconds across compile-counted stages — the one true compile time."""
+        return sum(t.seconds for t in self.timings if t.counts_as_compile)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total seconds across all stages, including validation."""
+        return sum(t.seconds for t in self.timings)
+
+    def stage_seconds(self, name: str) -> float:
+        """Seconds spent in the stage called ``name`` (0.0 when absent)."""
+        return sum(t.seconds for t in self.timings if t.name == name)
+
+    def timings_dict(self) -> dict[str, float]:
+        """Stage name → seconds, in execution order."""
+        out: dict[str, float] = {}
+        for t in self.timings:
+            out[t.name] = out.get(t.name, 0.0) + t.seconds
+        return out
+
+
+class Pipeline:
+    """An ordered, immutable sequence of passes."""
+
+    def __init__(self, passes: Iterable[Pass], name: str = "pipeline"):
+        self._passes: tuple[Pass, ...] = tuple(passes)
+        self.name = name
+
+    @property
+    def passes(self) -> tuple[Pass, ...]:
+        return self._passes
+
+    def pass_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self._passes)
+
+    def replace(self, name: str, replacement: Pass) -> "Pipeline":
+        """Return a new pipeline with the pass called ``name`` substituted."""
+        if name not in self.pass_names():
+            raise PipelineError(f"pipeline {self.name!r} has no pass named {name!r}")
+        return Pipeline(
+            (replacement if p.name == name else p for p in self._passes),
+            name=self.name,
+        )
+
+    def without(self, *names: str) -> "Pipeline":
+        """Return a new pipeline with the named passes removed."""
+        return Pipeline((p for p in self._passes if p.name not in names), name=self.name)
+
+    def run(self, ctx: PassContext) -> PipelineResult:
+        """Run every pass in order, timing each stage."""
+        timings: list[StageTiming] = []
+        for stage in self._passes:
+            started = time.perf_counter()
+            stage.run(ctx)
+            timings.append(
+                StageTiming(stage.name, time.perf_counter() - started, stage.counts_as_compile)
+            )
+        result = PipelineResult(context=ctx, timings=tuple(timings))
+        if ctx.encoded is not None:
+            ctx.encoded.compile_seconds = result.compile_seconds
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Pipeline({self.name!r}, passes={list(self.pass_names())})"

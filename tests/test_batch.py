@@ -1,0 +1,146 @@
+"""Tests for the parallel batch-evaluation engine (:mod:`repro.pipeline.batch`)."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.circuits.generators import get_benchmark, standard
+from repro.eval import table1_overview
+from repro.pipeline.batch import (
+    BatchJob,
+    ResultCache,
+    execute_job,
+    resolve_workers,
+    run_batch,
+)
+
+SMALL_SUITE = [get_benchmark(name) for name in ("dnn_n8", "ghz_state_n23", "ising_n10")]
+
+
+def _jobs(methods=("autobraid", "ecmas_dd_min", "ecmas_ls_min")):
+    circuit = standard.ghz_state(8)
+    return [BatchJob(circuit=circuit, method=method) for method in methods]
+
+
+class TestRunBatch:
+    def test_records_preserve_job_order(self):
+        jobs = _jobs()
+        result = run_batch(jobs)
+        assert [r.method for r in result.records] == [j.method for j in jobs]
+        assert all(r.cycles > 0 for r in result.records)
+
+    def test_serial_and_parallel_agree(self):
+        jobs = _jobs()
+        serial = run_batch(jobs, workers=1)
+        parallel = run_batch(jobs, workers=2)
+        assert parallel.workers == 2
+        assert [r.cycles for r in parallel.records] == [r.cycles for r in serial.records]
+        assert [r.method for r in parallel.records] == [r.method for r in serial.records]
+
+    def test_empty_job_list(self):
+        result = run_batch([])
+        assert result.records == []
+        assert result.recompilations == 0
+
+    def test_execute_job_matches_run_method(self):
+        job = _jobs()[1]
+        record = execute_job(job)
+        assert record.method == job.method
+        assert record.cycles > 0
+        assert record.extra["stages"]
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(1) == 1
+        assert resolve_workers(None) == (os.cpu_count() or 1)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_cache_accepts_plain_path(self, tmp_path):
+        jobs = _jobs(methods=("ecmas_ls_min",))
+        run_batch(jobs, cache=tmp_path / "c")
+        warm = run_batch(jobs, cache=tmp_path / "c")
+        assert warm.cache_hits == 1
+        assert warm.recompilations == 0
+
+    def test_partial_cache_hit_recompiles_only_misses(self, tmp_path):
+        cache_dir = tmp_path / "c"
+        run_batch(_jobs(methods=("ecmas_ls_min",)), cache=cache_dir)
+        mixed = run_batch(_jobs(methods=("ecmas_ls_min", "autobraid")), cache=cache_dir)
+        assert mixed.cache_hits == 1
+        assert mixed.cache_misses == 1
+        assert mixed.recompilations == 1
+        assert [r.method for r in mixed.records] == ["ecmas_ls_min", "autobraid"]
+
+    def test_shared_cache_reports_per_batch_deltas(self, tmp_path):
+        """Counters on BatchResult are per-run even when one cache is reused."""
+        cache = ResultCache(tmp_path / "c")
+        first = run_batch(_jobs(methods=("ecmas_ls_min",)), cache=cache)
+        second = run_batch(_jobs(methods=("ecmas_ls_min",)), cache=cache)
+        third = run_batch(_jobs(methods=("ecmas_ls_min", "autobraid")), cache=cache)
+        assert (first.cache_hits, first.cache_misses, first.recompilations) == (0, 1, 1)
+        assert (second.cache_hits, second.cache_misses, second.recompilations) == (1, 0, 0)
+        assert (third.cache_hits, third.cache_misses, third.recompilations) == (1, 1, 1)
+
+    def test_schema_skewed_cache_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        jobs = _jobs(methods=("ecmas_ls_min",))
+        run_batch(jobs, cache=cache)
+        entry = next((tmp_path / "c").glob("*.json"))
+        entry.write_text('{"not_a_record_field": 1}', encoding="utf-8")
+        warm = run_batch(jobs, cache=ResultCache(tmp_path / "c"))
+        assert warm.cache_hits == 0
+        assert warm.cache_misses == 1
+        assert warm.records[0].cycles > 0
+
+    def test_cache_clear(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        run_batch(_jobs(methods=("ecmas_ls_min",)), cache=cache)
+        assert cache.clear() == 1
+        cold = run_batch(_jobs(methods=("ecmas_ls_min",)), cache=ResultCache(tmp_path / "c"))
+        assert cold.cache_hits == 0
+
+
+class TestTableIntegration:
+    def test_table1_through_batch_engine_with_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        rows = table1_overview(suite=SMALL_SUITE, cache=cache)
+        assert len(rows) == 3
+        assert cache.hits == 0
+
+        warm_cache = ResultCache(tmp_path / "cache")
+        warm_rows = table1_overview(suite=SMALL_SUITE, cache=warm_cache)
+        assert warm_cache.misses == 0, "warm rerun must recompile nothing"
+        assert warm_cache.hits == len(SMALL_SUITE) * 7
+        assert warm_rows == rows
+
+    def test_table1_parallel_jobs_match_serial(self, tmp_path):
+        serial = table1_overview(suite=SMALL_SUITE[:2], jobs=1)
+        parallel = table1_overview(suite=SMALL_SUITE[:2], jobs=2)
+        assert parallel == serial
+
+
+@pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs a multi-core runner")
+def test_parallel_batch_is_faster_than_serial():
+    """--jobs 4 must beat serial wall-clock on a multi-core machine."""
+    specs = [get_benchmark(name) for name in ("square_root_n18", "multiplier_n25")]
+    jobs = [
+        BatchJob(circuit=spec.build(), method=method, circuit_name=spec.name)
+        for spec in specs
+        for method in ("autobraid", "ecmas_dd_min", "ecmas_ls_min", "edpci_min")
+    ]
+    started = time.perf_counter()
+    serial = run_batch(jobs, workers=1)
+    serial_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel = run_batch(jobs, workers=4)
+    parallel_seconds = time.perf_counter() - started
+
+    assert [r.cycles for r in parallel.records] == [r.cycles for r in serial.records]
+    assert parallel_seconds < serial_seconds * 0.8, (
+        f"parallel run ({parallel_seconds:.2f}s) not measurably faster than "
+        f"serial ({serial_seconds:.2f}s)"
+    )

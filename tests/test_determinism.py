@@ -1,0 +1,91 @@
+"""Determinism guarantees: repeated compiles are bit-identical, caches are exact.
+
+The batch engine's on-disk cache is only sound because every compile is a pure
+function of (circuit, method, chip, options).  These tests pin that property:
+the same circuit with the same seed yields identical cycle counts *and*
+identical operation lists across both surface-code models and all three
+resource configurations, and a warm cache returns records identical to a
+fresh compile.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import EcmasOptions, SurfaceCodeModel, compile_circuit
+from repro.circuits.generators import get_benchmark, standard
+from repro.pipeline.batch import BatchJob, ResultCache, run_batch
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+#: (resources, scheduler) for the paper's three resource configurations.
+RESOURCE_CONFIGS = (("minimum", "limited"), ("4x", "limited"), ("sufficient", "resu"))
+
+
+@pytest.mark.parametrize("model", (DD, LS), ids=("dd", "ls"))
+@pytest.mark.parametrize("resources,scheduler", RESOURCE_CONFIGS)
+def test_repeated_compiles_identical(model, resources, scheduler):
+    circuit = standard.qft(8)
+    options = EcmasOptions(seed=7)
+    first = compile_circuit(
+        circuit, model=model, resources=resources, scheduler=scheduler, options=options
+    )
+    second = compile_circuit(
+        circuit, model=model, resources=resources, scheduler=scheduler, options=options
+    )
+    assert first.num_cycles == second.num_cycles
+    assert first.operations == second.operations
+    assert first.initial_cut_types == second.initial_cut_types
+    assert first.chip == second.chip
+    assert first.placement == second.placement
+
+
+@pytest.mark.parametrize("seed", (0, 3))
+def test_seeded_randomised_options_deterministic(seed):
+    circuit = standard.dnn(8, layers=4)
+    options = EcmasOptions(cut_initialisation="random", placement_strategy="random", seed=seed)
+    runs = [
+        compile_circuit(circuit, model=DD, scheduler="limited", options=options) for _ in range(2)
+    ]
+    assert runs[0].num_cycles == runs[1].num_cycles
+    assert runs[0].operations == runs[1].operations
+
+
+def test_cache_round_trip_returns_identical_records(tmp_path):
+    """A second batch run is served fully from cache, with identical records."""
+    circuit = get_benchmark("dnn_n8").build()
+    jobs = [
+        BatchJob(circuit=circuit, method=method, circuit_name="dnn_n8", paper_cycles=paper)
+        for method, paper in (("autobraid", 147), ("ecmas_dd_min", 48), ("ecmas_ls_min", 48))
+    ]
+    cache = ResultCache(tmp_path / "cache")
+    cold = run_batch(jobs, cache=cache)
+    assert cold.cache_hits == 0
+    assert cold.cache_misses == len(jobs)
+    assert cold.recompilations == len(jobs)
+
+    warm_cache = ResultCache(tmp_path / "cache")
+    warm = run_batch(jobs, cache=warm_cache)
+    assert warm.cache_hits == len(jobs)
+    assert warm.cache_misses == 0
+    assert warm.recompilations == 0
+    assert warm.records == cold.records
+
+
+def test_cache_distinguishes_methods_options_and_circuits(tmp_path):
+    ghz = standard.ghz_state(6)
+    qft = standard.qft(6)
+    fingerprints = {
+        BatchJob(circuit=ghz, method="ecmas_dd_min").fingerprint(),
+        BatchJob(circuit=ghz, method="ecmas_ls_min").fingerprint(),
+        BatchJob(circuit=ghz, method="ecmas_dd_min", code_distance=5).fingerprint(),
+        BatchJob(circuit=ghz, method="ecmas_dd_min", options=EcmasOptions(seed=1)).fingerprint(),
+        BatchJob(circuit=qft, method="ecmas_dd_min").fingerprint(),
+    }
+    assert len(fingerprints) == 5
+    # Metadata that does not affect the compile result is NOT part of the key.
+    assert (
+        BatchJob(circuit=ghz, method="ecmas_dd_min", circuit_name="a").fingerprint()
+        == BatchJob(circuit=ghz, method="ecmas_dd_min", circuit_name="b").fingerprint()
+    )

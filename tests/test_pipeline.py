@@ -1,0 +1,157 @@
+"""Tests for the pass framework, the method registry and pipeline results."""
+
+import pytest
+
+from repro import EcmasOptions, SurfaceCodeModel
+from repro.errors import ReproError, SchedulingError
+from repro.pipeline import (
+    Pass,
+    PassContext,
+    Pipeline,
+    PipelineError,
+    SelectSchedulerPass,
+    build_pipeline,
+    registered_methods,
+    resolve_method,
+    run_pipeline_method,
+    standard_passes,
+)
+
+DD = SurfaceCodeModel.DOUBLE_DEFECT
+LS = SurfaceCodeModel.LATTICE_SURGERY
+
+STANDARD_STAGES = (
+    "profile",
+    "build_chip",
+    "init_cut_types",
+    "initial_mapping",
+    "bandwidth_adjust",
+    "select_scheduler",
+    "schedule",
+    "validate",
+)
+
+
+class TestFramework:
+    def test_standard_pipeline_stage_names(self):
+        assert build_pipeline("ecmas").pass_names() == STANDARD_STAGES
+
+    def test_run_records_one_timing_per_stage(self, ghz8):
+        result = run_pipeline_method(ghz8, "ecmas", scheduler="limited")
+        assert tuple(t.name for t in result.timings) == STANDARD_STAGES
+        assert all(t.seconds >= 0 for t in result.timings)
+        assert result.compile_seconds > 0
+        assert result.encoded.compile_seconds == result.compile_seconds
+
+    def test_validate_stage_not_counted_as_compile(self, ghz8):
+        result = run_pipeline_method(ghz8, "ecmas", scheduler="limited", validate=True)
+        validate = [t for t in result.timings if t.name == "validate"]
+        assert len(validate) == 1
+        assert not validate[0].counts_as_compile
+        assert result.compile_seconds == pytest.approx(
+            result.total_seconds - validate[0].seconds
+        )
+        assert "validation" in result.context.artifacts
+
+    def test_replace_substitutes_one_pass(self):
+        pipeline = build_pipeline("ecmas")
+        swapped = pipeline.replace("select_scheduler", SelectSchedulerPass(scheduler="resu"))
+        assert swapped.pass_names() == pipeline.pass_names()
+        with pytest.raises(PipelineError):
+            pipeline.replace("not_a_stage", SelectSchedulerPass())
+
+    def test_without_removes_stages(self):
+        pipeline = build_pipeline("ecmas").without("validate")
+        assert "validate" not in pipeline.pass_names()
+
+    def test_context_prerequisites_raise_pipeline_error(self, ghz8):
+        ctx = PassContext(circuit=ghz8, model=DD, options=EcmasOptions())
+        with pytest.raises(PipelineError):
+            ctx.require_chip()
+        with pytest.raises(PipelineError):
+            ctx.require_mapping()
+        with pytest.raises(PipelineError):
+            ctx.require_encoded()
+
+    def test_custom_pass_sees_artifacts(self, ghz8):
+        seen = {}
+
+        class Probe(Pass):
+            name = "probe"
+
+            def run(self, ctx):
+                seen["parallelism"] = ctx.ensure_parallelism()
+                seen["cycles"] = ctx.require_encoded().num_cycles
+
+        passes = standard_passes() + [Probe()]
+        ctx = PassContext(circuit=ghz8, model=DD, options=EcmasOptions(), scheduler="limited")
+        Pipeline(passes, name="probed").run(ctx)
+        assert seen["parallelism"] >= 1
+        assert seen["cycles"] == ctx.encoded.num_cycles
+
+
+class TestRegistry:
+    def test_known_methods_registered(self):
+        names = registered_methods()
+        for name in (
+            "ecmas",
+            "autobraid",
+            "braidflash",
+            "edpci",
+            "edpci_min",
+            "edpci_4x",
+            "ecmas_dd_min",
+            "ecmas_dd_resu",
+            "ecmas_ls_4x",
+            "ecmas_ls_resu",
+        ):
+            assert name in names
+
+    def test_unknown_method_raises(self, ghz8):
+        with pytest.raises(ReproError):
+            resolve_method("not_a_method")
+        with pytest.raises(ReproError):
+            run_pipeline_method(ghz8, "location:")
+
+    def test_ablation_methods_resolve_and_relabel(self, ghz8):
+        result = run_pipeline_method(ghz8, "location:trivial")
+        assert result.encoded.method == "ecmas-dd/location=trivial"
+        result = run_pipeline_method(ghz8, "gate_order:circuit_order")
+        assert result.encoded.model is LS
+        assert result.encoded.method == "ecmas-ls/priority=circuit_order"
+
+    def test_baseline_model_pins_reject_wrong_chip(self, ghz8, ls_chip_small, dd_chip_small):
+        with pytest.raises(SchedulingError):
+            run_pipeline_method(ghz8, "autobraid", chip=ls_chip_small)
+        with pytest.raises(SchedulingError):
+            run_pipeline_method(ghz8, "edpci", chip=dd_chip_small)
+
+    def test_explicit_chip_overrides_resources(self, ghz8, dd_chip_small):
+        result = run_pipeline_method(ghz8, "ecmas_dd_4x", chip=dd_chip_small)
+        assert result.encoded.chip.tile_rows == dd_chip_small.tile_rows
+        assert result.encoded.chip.bandwidth == dd_chip_small.bandwidth
+
+
+class TestOptionsValidation:
+    def test_defaults_valid(self):
+        EcmasOptions()
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"placement_strategy": "bogus"},
+            {"cut_initialisation": "bogus"},
+            {"cut_strategy": "bogus"},
+            {"priority": "bogus"},
+            {"placement_attempts": 0},
+            {"placement_attempts": -3},
+        ],
+    )
+    def test_invalid_values_fail_at_construction(self, kwargs):
+        with pytest.raises(SchedulingError):
+            EcmasOptions(**kwargs)
+
+    def test_extra_field_removed(self):
+        assert "extra" not in EcmasOptions.field_names()
+        with pytest.raises(TypeError):
+            EcmasOptions(extra={})

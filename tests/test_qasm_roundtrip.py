@@ -4,6 +4,7 @@ import pytest
 
 from repro.circuits import qasm
 from repro.circuits.generators import random_parallel_circuit, standard
+from repro.circuits.generators.suite import SENSITIVITY_SUITE_NAMES, TABLE1_SUITE, get_benchmark
 
 
 def _cnot_structure(circuit):
@@ -28,6 +29,25 @@ def test_roundtrip_preserves_cnot_structure(circuit_factory):
     assert parsed.num_qubits == original.num_qubits
     assert _cnot_structure(parsed) == _cnot_structure(original)
     assert parsed.depth() == original.depth()
+
+
+@pytest.mark.parametrize(
+    "name",
+    [spec.name for spec in TABLE1_SUITE] + ["multiply_n13"],
+)
+def test_roundtrip_every_builtin_benchmark(name):
+    """writer.py output re-parses to an equivalent circuit for the whole suite."""
+    original = get_benchmark(name).build()
+    parsed = qasm.loads(qasm.dumps(original))
+    assert parsed.num_qubits == original.num_qubits
+    assert _cnot_structure(parsed) == _cnot_structure(original)
+    assert parsed.depth() == original.depth()
+    assert parsed.gate_counts() == original.gate_counts()
+
+
+def test_sensitivity_suite_names_resolve():
+    for name in SENSITIVITY_SUITE_NAMES:
+        assert get_benchmark(name).build().num_cnots > 0
 
 
 def test_dump_and_load_file(tmp_path):
