@@ -1,0 +1,93 @@
+"""Benchmark: reference-vs-fast engine wall-clock over the Table I suite.
+
+For every (non-large) Table I circuit this compiles ``ecmas_dd_min`` and
+``ecmas_ls_min`` with both engines, records per-circuit schedule-stage and
+whole-compile times into ``benchmarks/results/engine_speed.txt`` (the perf
+baseline future PRs compare against), and asserts the headline property of
+the fast engine: identical schedules at >= 2x schedule-stage wall-clock on
+the scheduling-dominated circuits.
+
+Timing uses the best of two rounds per engine to damp scheduler noise; the
+2x assertion is made on the suite aggregate, not per circuit, so small
+circuits whose compile is dominated by landmark-table construction cannot
+fail the build on their own.  On noisy shared machines (CI runners) the
+required aggregate speedup can be lowered via ``ECMAS_ENGINE_SPEED_MIN``;
+schedule parity is always asserted strictly.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import full_benchmarks_enabled
+
+from repro.circuits.generators import default_suite
+from repro.eval import format_table
+from repro.profiling import compare_engines
+
+_METHODS = ("ecmas_dd_min", "ecmas_ls_min")
+_ROUNDS = 2
+
+#: Required aggregate schedule-stage speedup (typically measured ~3x).
+_MIN_SPEEDUP = float(os.environ.get("ECMAS_ENGINE_SPEED_MIN", "2.0"))
+
+
+def _measure(circuit, method):
+    """Best-of-N comparison for one (circuit, method) cell."""
+    best = None
+    for _ in range(_ROUNDS):
+        comparison = compare_engines(circuit, method)
+        assert comparison.schedules_identical, (
+            f"{method} on {circuit.name}: fast engine diverged from reference"
+        )
+        if best is None:
+            best = {
+                "schedule": dict(comparison.schedule_seconds),
+                "compile": dict(comparison.compile_seconds),
+                "cycles": comparison.cycles,
+            }
+        else:
+            for stage in ("schedule", "compile"):
+                for engine in ("reference", "fast"):
+                    best[stage][engine] = min(
+                        best[stage][engine], getattr(comparison, f"{stage}_seconds")[engine]
+                    )
+    return best
+
+
+def test_engine_speed(save_result):
+    suite = default_suite(include_large=full_benchmarks_enabled())
+    rows = []
+    totals = {m: {"reference": 0.0, "fast": 0.0} for m in _METHODS}
+    for spec in suite:
+        circuit = spec.build()
+        row = {"circuit": spec.name, "n": circuit.num_qubits, "g": circuit.num_cnots}
+        for method in _METHODS:
+            best = _measure(circuit, method)
+            prefix = "dd" if "dd" in method else "ls"
+            reference = best["schedule"]["reference"]
+            fast = best["schedule"]["fast"]
+            totals[method]["reference"] += reference
+            totals[method]["fast"] += fast
+            row[f"{prefix}_ref_ms"] = round(reference * 1000, 2)
+            row[f"{prefix}_fast_ms"] = round(fast * 1000, 2)
+            row[f"{prefix}_speedup"] = round(reference / fast, 2) if fast else 0.0
+        rows.append(row)
+
+    dd = totals["ecmas_dd_min"]
+    ls = totals["ecmas_ls_min"]
+    dd_speedup = dd["reference"] / dd["fast"]
+    ls_speedup = ls["reference"] / ls["fast"]
+    text = format_table(rows, title="Engine speed — schedule-stage seconds, reference vs fast")
+    text += (
+        f"\nAggregate schedule-stage speedup (best of {_ROUNDS} rounds):\n"
+        f"  ecmas_dd_min: {dd_speedup:.2f}x "
+        f"({dd['reference'] * 1000:.1f} ms -> {dd['fast'] * 1000:.1f} ms)\n"
+        f"  ecmas_ls_min: {ls_speedup:.2f}x "
+        f"({ls['reference'] * 1000:.1f} ms -> {ls['fast'] * 1000:.1f} ms)\n"
+    )
+    print("\n" + text)
+    save_result("engine_speed.txt", text)
+
+    assert dd_speedup >= _MIN_SPEEDUP, f"fast DD engine only {dd_speedup:.2f}x over the suite"
+    assert ls_speedup >= _MIN_SPEEDUP, f"fast LS engine only {ls_speedup:.2f}x over the suite"

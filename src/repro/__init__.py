@@ -34,8 +34,9 @@ from repro.pipeline import (
     run_batch,
     run_pipeline_method,
 )
+from repro.profiling import EngineComparison, EngineCounters, compare_engines
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -63,4 +64,7 @@ __all__ = [
     "BatchResult",
     "ResultCache",
     "run_batch",
+    "EngineCounters",
+    "EngineComparison",
+    "compare_engines",
 ]

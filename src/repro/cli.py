@@ -4,10 +4,14 @@ Commands
 --------
 ``profile``
     Print circuit statistics (qubits, CNOTs, depth, parallelism degree) for a
-    QASM file or a named built-in benchmark.
+    QASM file or a named built-in benchmark.  With ``--method`` it also
+    compiles the circuit with the reference and fast engines and prints
+    per-stage timings, hot-path counters and the measured speedup.
 ``compile``
     Run the Ecmas pipeline (or a baseline) and print the schedule summary,
     optionally with the placement, a cycle timeline and per-stage timings.
+    ``--engine fast`` switches the Algorithm 1 hot path to the incremental /
+    landmark-A* engine (identical schedules, faster compiles).
 ``table``
     Regenerate one of the paper's tables (1-5) on the standard suites,
     optionally fanning the per-cell compilations across worker processes
@@ -81,7 +85,31 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print(f"CNOT gates (g) : {circuit.num_cnots}")
     print(f"CNOT depth (α) : {circuit.depth()}")
     print(f"parallelism PM : {circuit_parallelism_degree(circuit)}")
-    return 0
+    if args.method is None:
+        return 0
+
+    from repro.profiling import compare_engines
+
+    comparison = compare_engines(circuit, args.method, code_distance=args.code_distance)
+    print()
+    print(f"method          : {args.method}")
+    print(f"cycles          : {comparison.cycles}")
+    print(f"schedules equal : {comparison.schedules_identical}")
+    print()
+    print(f"{'engine':<12} {'compile':>12} {'schedule':>12} {'routes':>9} {'expansions':>11} {'landmarks':>10}")
+    for engine in ("reference", "fast"):
+        counters = comparison.counters.get(engine, {})
+        print(
+            f"{engine:<12} {comparison.compile_seconds[engine] * 1000:10.1f} ms"
+            f" {comparison.schedule_seconds[engine] * 1000:10.1f} ms"
+            f" {counters.get('route_calls', 0):>9}"
+            f" {counters.get('nodes_expanded', 0):>11}"
+            f" {counters.get('landmark_tables', 0):>10}"
+        )
+    print()
+    print(f"compile speedup : {comparison.compile_speedup:.2f}x")
+    print(f"schedule speedup: {comparison.schedule_speedup:.2f}x")
+    return 0 if comparison.schedules_identical else 1
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -89,10 +117,15 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     model = _MODELS[args.model]
     if args.method == "ecmas":
         result = run_pipeline_method(
-            circuit, "ecmas", model=model, resources=args.resources, scheduler=args.scheduler
+            circuit,
+            "ecmas",
+            model=model,
+            resources=args.resources,
+            scheduler=args.scheduler,
+            engine=args.engine,
         )
     else:
-        result = run_pipeline_method(circuit, args.method)
+        result = run_pipeline_method(circuit, args.method, engine=args.engine)
     encoded = result.encoded
     report = validate_encoded_circuit(circuit, encoded)
     print(f"method          : {encoded.method}")
@@ -107,9 +140,13 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             print(f"  error: {error}")
     if args.stages:
         print()
-        print("per-stage timings:")
+        print(f"per-stage timings ({result.engine} engine):")
         for name, seconds in result.timings_dict().items():
             print(f"  {name:<16} {seconds * 1000:8.2f} ms")
+        if result.counters:
+            print("engine counters:")
+            for name, value in result.counters.items():
+                print(f"  {name:<16} {value}")
     if args.show_placement:
         print()
         print(viz.render_placement(encoded.chip, encoded.placement))
@@ -125,7 +162,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_table(args: argparse.Namespace) -> int:
     builder, title = _TABLES[args.number]
     cache = _make_cache(args)
-    rows = builder(jobs=args.jobs, cache=cache)
+    rows = builder(jobs=args.jobs, cache=cache, engine=args.engine)
     print(format_table(rows, title=title))
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.directory})")
@@ -144,6 +181,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             circuit_name=spec,
             code_distance=args.code_distance,
             validate=args.validate,
+            engine=args.engine,
         )
         for spec in args.circuits
         for method in methods
@@ -189,7 +227,18 @@ def _cmd_suite(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=["reference", "fast"],
+        default="reference",
+        help="Algorithm 1 hot-path engine; 'fast' uses incremental ready-set "
+        "maintenance and landmark A* routing (identical schedules, faster compiles)",
+    )
+
+
 def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
+    _add_engine_flag(parser)
     parser.add_argument(
         "--jobs",
         type=int,
@@ -219,8 +268,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    profile = sub.add_parser("profile", help="print circuit statistics")
+    profile = sub.add_parser(
+        "profile", help="print circuit statistics and engine timing comparisons"
+    )
     profile.add_argument("circuit", help="QASM file path or built-in benchmark name (e.g. qft_n10)")
+    profile.add_argument(
+        "--method",
+        default=None,
+        metavar="M",
+        help="also compile with this method on both engines and print per-stage "
+        "timings, hot-path counters and the measured speedup (e.g. ecmas_dd_min)",
+    )
+    profile.add_argument("--code-distance", type=int, default=3, metavar="D")
     profile.set_defaults(func=_cmd_profile)
 
     compile_cmd = sub.add_parser("compile", help="compile a circuit and summarise the schedule")
@@ -233,6 +292,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="ecmas",
         help="'ecmas' (default) or an evaluation method name such as autobraid / edpci_min",
     )
+    _add_engine_flag(compile_cmd)
     compile_cmd.add_argument("--stages", action="store_true", help="print per-stage pipeline timings")
     compile_cmd.add_argument("--show-placement", action="store_true", help="render the tile placement")
     compile_cmd.add_argument("--timeline", type=int, metavar="N", help="print the first N cycles")

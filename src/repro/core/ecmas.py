@@ -162,6 +162,7 @@ def compile_circuit(
     scheduler: str = "auto",
     code_distance: int = DEFAULT_CODE_DISTANCE,
     options: EcmasOptions | None = None,
+    engine: str = "reference",
 ) -> EncodedCircuit:
     """Compile ``circuit`` into a surface-code encoded circuit with Ecmas.
 
@@ -182,6 +183,9 @@ def compile_circuit(
         Algorithm 1 and ``"resu"`` forces Algorithm 2.
     options:
         Pipeline tuning knobs; defaults reproduce the paper's configuration.
+    engine:
+        Algorithm 1 hot path: ``"reference"`` or ``"fast"`` (identical
+        schedules, the fast engine is wall-clock faster).
     """
     from repro.pipeline.registry import run_pipeline_method
 
@@ -194,4 +198,5 @@ def compile_circuit(
         scheduler=scheduler,
         code_distance=code_distance,
         options=options,
+        engine=engine,
     ).encoded

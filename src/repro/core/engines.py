@@ -1,0 +1,82 @@
+"""Engine selection and stall diagnostics shared by the Algorithm 1 schedulers.
+
+Both :class:`~repro.core.scheduler_dd.DoubleDefectScheduler` and
+:class:`~repro.core.scheduler_ls.LatticeSurgeryScheduler` accept an
+``engine`` argument naming their hot-path implementation; the pipeline's
+scheduler-selection pass validates the same names.  Keeping the contract
+here avoids coupling the two concrete schedulers to each other.
+"""
+
+from __future__ import annotations
+
+from repro.chip.routing_graph import Node, RoutingGraph
+from repro.errors import SchedulingError
+from repro.routing.fast_router import FastRouter
+from repro.routing.paths import CapacityUsage, RoutedPath
+from repro.routing.router import find_path
+
+#: The recognised Algorithm 1 engine names.
+ENGINES = ("reference", "fast")
+
+
+def check_engine(engine: str) -> str:
+    """Validate an engine name, returning it unchanged."""
+    if engine not in ENGINES:
+        raise SchedulingError(f"unknown scheduling engine {engine!r}; choose from {ENGINES}")
+    return engine
+
+
+def build_router(graph: RoutingGraph, engine: str) -> FastRouter | None:
+    """The fast engine's router for ``graph``, or ``None`` on the reference engine."""
+    return FastRouter(graph) if engine == "fast" else None
+
+
+def route_query(
+    router: FastRouter | None,
+    graph: RoutingGraph,
+    usage: CapacityUsage,
+    source: Node,
+    target: Node,
+    congestion_weight: float,
+    counters,
+) -> RoutedPath | None:
+    """Dispatch one path query to the engine's router, accounting it in ``counters``."""
+    counters.route_calls += 1
+    if router is not None:
+        return router.find(usage, source, target, congestion_weight, counters)
+    return find_path(graph, usage, source, target, congestion_weight, counters)
+
+
+def stalled_schedule_error(
+    kind: str,
+    cycle: int,
+    max_cycles: int,
+    frontier,
+    dag,
+    busy_until: dict[int, int],
+    dispatched=(),
+) -> SchedulingError:
+    """Build the safety-bound diagnostic for a scheduler that stopped progressing.
+
+    Names the first *blocked* ready gate — ready but not yet dispatched —
+    with its operand qubits and tile busy horizons, so a stall points at the
+    offending gate instead of only at the cycle budget.  Gates in
+    ``dispatched`` are executing, not blocked; when only those remain the
+    message says so instead of blaming one of them.
+    """
+    message = (
+        f"{kind} scheduler exceeded {max_cycles} cycles at cycle {cycle}; "
+        f"{frontier.num_remaining} gates remain"
+    )
+    blocked = [node for node in frontier.ready_nodes() if node not in dispatched]
+    if blocked:
+        node = blocked[0]
+        gate = dag.gate(node)
+        message += (
+            f"; first blocked gate: node {node} CX(q{gate.control}, q{gate.target})"
+            f" with tiles busy until cycles {busy_until[gate.control]} and"
+            f" {busy_until[gate.target]}"
+        )
+    elif frontier.ready_nodes():
+        message += f"; {len(frontier.ready_nodes())} dispatched gate(s) still in flight"
+    return SchedulingError(message)

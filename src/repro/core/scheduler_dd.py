@@ -18,6 +18,16 @@ optimisations are designed to relieve.
 
 The same engine, configured with uniform cut types and the ``never_modify``
 strategy, serves as the AutoBraid / Braidflash baseline scheduler.
+
+Engines
+-------
+``engine="reference"`` (the default) recomputes the prioritised ready list
+from the frontier every cycle and routes with the canonical Dijkstra of
+:func:`repro.routing.router.find_path`.  ``engine="fast"`` keeps the ready
+set incrementally sorted (:class:`repro.core.incremental.IncrementalReadyQueue`)
+and routes with the landmark A* of :class:`repro.routing.fast_router.FastRouter`;
+both components preserve the reference semantics exactly, so the two engines
+produce identical schedules (enforced by ``tests/test_differential_engines.py``).
 """
 
 from __future__ import annotations
@@ -35,12 +45,14 @@ from repro.core.cut_decisions import (
     adaptive_strategy,
 )
 from repro.core.cut_types import CutType
+from repro.core.engines import build_router, check_engine, route_query, stalled_schedule_error
+from repro.core.incremental import IncrementalReadyQueue
 from repro.core.mapping import InitialMapping
 from repro.core.priorities import PriorityFunction, criticality_priority
 from repro.core.schedule import EncodedCircuit, OperationKind, ScheduledOperation
 from repro.errors import SchedulingError
+from repro.profiling.instrumentation import EngineCounters
 from repro.routing.paths import CapacityUsage, RoutedPath
-from repro.routing.router import find_path
 
 #: Hard safety bound: a valid schedule never needs more cycles than four per
 #: gate plus the modification overhead; exceeding it indicates a scheduler bug.
@@ -58,6 +70,9 @@ class DoubleDefectScheduler:
         cut_strategy: CutDecisionStrategy = adaptive_strategy,
         congestion_weight: float = 0.25,
         method: str = "ecmas-dd",
+        engine: str = "reference",
+        max_cycles: int | None = None,
+        dag=None,
     ):
         if mapping.cut_types is None:
             raise SchedulingError("double defect scheduling needs an initial cut-type assignment")
@@ -67,8 +82,20 @@ class DoubleDefectScheduler:
         self._cut_strategy = cut_strategy
         self._congestion_weight = congestion_weight
         self._method = method
-        self._dag = circuit.dag()
+        self._engine = check_engine(engine)
+        self._max_cycles = max_cycles
+        # A DAG precomputed by the pipeline's profile pass is reused as-is;
+        # standalone callers pay for one derivation here.
+        self._dag = dag if dag is not None else circuit.dag()
         self._graph = RoutingGraph(mapping.chip)
+        self._router = build_router(self._graph, self._engine)
+        self.counters = EngineCounters()
+
+    def _find_path(self, usage: CapacityUsage, source: Node, target: Node) -> RoutedPath | None:
+        """Route one query through the engine's router."""
+        return route_query(
+            self._router, self._graph, usage, source, target, self._congestion_weight, self.counters
+        )
 
     # ------------------------------------------------------------------ public
     def run(self) -> EncodedCircuit:
@@ -91,28 +118,43 @@ class DoubleDefectScheduler:
         cut_flips: dict[int, list[int]] = defaultdict(list)
         scheduled: set[int] = set()
         operations: list[ScheduledOperation] = []
+        # Fast engine: the ready set stays sorted across cycles instead of
+        # being rebuilt from the frontier every cycle.
+        queue = (
+            IncrementalReadyQueue(self._dag, self._priority, frontier.ready_nodes())
+            if self._engine == "fast"
+            else None
+        )
 
-        max_cycles = _SAFETY_FACTOR * (len(self._dag) * (DIRECT_SAME_CUT_CYCLES + MODIFICATION_CYCLES) + 10)
+        max_cycles = (
+            self._max_cycles
+            if self._max_cycles is not None
+            else _SAFETY_FACTOR * (len(self._dag) * (DIRECT_SAME_CUT_CYCLES + MODIFICATION_CYCLES) + 10)
+        )
         cycle = 0
         while not frontier.is_done():
             if cycle > max_cycles:
-                raise SchedulingError(
-                    f"double defect scheduler exceeded {max_cycles} cycles; "
-                    f"{frontier.num_remaining} gates remain"
+                raise stalled_schedule_error(
+                    "double defect", cycle, max_cycles, frontier, self._dag, busy_until, scheduled
                 )
             for qubit in cut_flips.pop(cycle, []):
                 cut[qubit] = cut[qubit].flipped()
             for node in completions.pop(cycle, []):
-                frontier.complete(node)
+                newly_ready = frontier.complete(node)
+                if queue is not None:
+                    queue.add(newly_ready)
 
-            ready = [node for node in frontier.ready_nodes() if node not in scheduled]
-            available = [
-                node
-                for node in ready
-                if busy_until[self._dag.gate(node).control] <= cycle
-                and busy_until[self._dag.gate(node).target] <= cycle
-            ]
-            order = self._priority(self._dag, available)
+            if queue is not None:
+                order = queue.available(busy_until, cycle)
+            else:
+                ready = [node for node in frontier.ready_nodes() if node not in scheduled]
+                available = [
+                    node
+                    for node in ready
+                    if busy_until[self._dag.gate(node).control] <= cycle
+                    and busy_until[self._dag.gate(node).target] <= cycle
+                ]
+                order = self._priority(self._dag, available)
             usage_now = usage_by_cycle.setdefault(cycle, CapacityUsage())
 
             for node in order:
@@ -121,10 +163,11 @@ class DoubleDefectScheduler:
                 if busy_until[qubit_a] > cycle or busy_until[qubit_b] > cycle:
                     continue  # an earlier decision in this cycle occupied a tile
                 if cut[qubit_a] != cut[qubit_b]:
-                    self._try_braid(
+                    if self._try_braid(
                         node, qubit_a, qubit_b, cycle, usage_now,
                         busy_until, completions, scheduled, operations,
-                    )
+                    ) and queue is not None:
+                        queue.discard(node)
                     continue
                 context = CutContext(
                     dag=self._dag,
@@ -134,7 +177,7 @@ class DoubleDefectScheduler:
                     cut_types=cut,
                     idle_a=cycle - busy_until[qubit_a],
                     idle_b=cycle - busy_until[qubit_b],
-                    ready_count=len(available),
+                    ready_count=len(order),
                     bandwidth=self._mapping.chip.bandwidth,
                     num_qubits=self._circuit.num_qubits,
                 )
@@ -147,19 +190,22 @@ class DoubleDefectScheduler:
                     if finished_now:
                         # The modification fit entirely into past idle cycles;
                         # the cut types now differ, so try the braid immediately.
-                        self._try_braid(
+                        if self._try_braid(
                             node, qubit_a, qubit_b, cycle, usage_now,
                             busy_until, completions, scheduled, operations,
-                        )
+                        ) and queue is not None:
+                            queue.discard(node)
                 else:
-                    self._try_direct(
+                    if self._try_direct(
                         node, qubit_a, qubit_b, cycle, usage_by_cycle,
                         busy_until, completions, scheduled, operations,
-                    )
+                    ) and queue is not None:
+                        queue.discard(node)
 
             cycle += 1
             usage_by_cycle.pop(cycle - 1, None)
 
+        self.counters.cycles_simulated = cycle
         result.operations = operations
         return result
 
@@ -180,11 +226,10 @@ class DoubleDefectScheduler:
         operations: list[ScheduledOperation],
     ) -> bool:
         """One-cycle braid between different-cut tiles; returns True if scheduled."""
-        path = find_path(
-            self._graph, usage_now, self._tile(qubit_a), self._tile(qubit_b), self._congestion_weight
-        )
+        path = self._find_path(usage_now, self._tile(qubit_a), self._tile(qubit_b))
         if path is None:
             return False
+        self.counters.gates_scheduled += 1
         usage_now.add_path(path)
         operations.append(
             ScheduledOperation(
@@ -218,6 +263,7 @@ class DoubleDefectScheduler:
         path = self._find_multicycle_path(cycle, DIRECT_SAME_CUT_CYCLES, qubit_a, qubit_b, usage_by_cycle)
         if path is None:
             return False
+        self.counters.gates_scheduled += 1
         for offset in range(DIRECT_SAME_CUT_CYCLES):
             usage_by_cycle.setdefault(cycle + offset, CapacityUsage()).add_path(path)
         operations.append(
@@ -257,6 +303,7 @@ class DoubleDefectScheduler:
         overlap = min(MODIFICATION_CYCLES, max(0, idle))
         start = cycle - overlap
         end = start + MODIFICATION_CYCLES
+        self.counters.cut_modifications += 1
         operations.append(
             ScheduledOperation(
                 kind=OperationKind.CUT_MODIFICATION,
@@ -286,18 +333,24 @@ class DoubleDefectScheduler:
         The search runs against a merged usage view holding, for every edge,
         the maximum reservation over the involved cycles.
         """
-        merged = CapacityUsage()
-        for offset in range(duration):
-            cycle_usage = usage_by_cycle.get(cycle + offset)
-            if cycle_usage is None:
-                continue
-            for key, used in cycle_usage.used.items():
-                merged.used[key] = max(merged.used.get(key, 0), used)
-            for node, used in cycle_usage.node_used.items():
-                merged.node_used[node] = max(merged.node_used.get(node, 0), used)
-        return find_path(
-            self._graph, merged, self._tile(qubit_a), self._tile(qubit_b), self._congestion_weight
-        )
+        involved = [
+            cycle_usage
+            for offset in range(duration)
+            if (cycle_usage := usage_by_cycle.get(cycle + offset)) is not None
+            and (cycle_usage.used or cycle_usage.node_used)
+        ]
+        if len(involved) == 1:
+            # Common case: only the current cycle carries reservations, so the
+            # merged view is that cycle's usage verbatim — search it directly.
+            merged = involved[0]
+        else:
+            merged = CapacityUsage()
+            for cycle_usage in involved:
+                for key, used in cycle_usage.used.items():
+                    merged.used[key] = max(merged.used.get(key, 0), used)
+                for node, used in cycle_usage.node_used.items():
+                    merged.node_used[node] = max(merged.node_used.get(node, 0), used)
+        return self._find_path(merged, self._tile(qubit_a), self._tile(qubit_b))
 
 
 def schedule_double_defect(
@@ -306,9 +359,10 @@ def schedule_double_defect(
     priority: PriorityFunction = criticality_priority,
     cut_strategy: CutDecisionStrategy = adaptive_strategy,
     method: str = "ecmas-dd",
+    engine: str = "reference",
 ) -> EncodedCircuit:
     """Convenience wrapper around :class:`DoubleDefectScheduler`."""
     scheduler = DoubleDefectScheduler(
-        circuit, mapping, priority=priority, cut_strategy=cut_strategy, method=method
+        circuit, mapping, priority=priority, cut_strategy=cut_strategy, method=method, engine=engine
     )
     return scheduler.run()

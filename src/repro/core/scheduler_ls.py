@@ -10,6 +10,14 @@ next cycle.
 
 The same engine with the EDPCI gate order (shortest tile separation first,
 trivial snake placement) is used as the EDPCI baseline.
+
+Engines
+-------
+As in :mod:`repro.core.scheduler_dd`, ``engine="fast"`` swaps the per-cycle
+ready-set rebuild for an incrementally maintained priority queue and the
+Dijkstra router for the landmark A* router, without changing the produced
+schedule; the per-cycle :class:`CapacityUsage` is recycled instead of
+reallocated.
 """
 
 from __future__ import annotations
@@ -19,12 +27,13 @@ from collections import defaultdict
 from repro.chip.geometry import SurfaceCodeModel
 from repro.chip.routing_graph import Node, RoutingGraph, tile_node_for
 from repro.circuits.circuit import Circuit
+from repro.core.engines import build_router, check_engine, route_query, stalled_schedule_error
+from repro.core.incremental import IncrementalReadyQueue
 from repro.core.mapping import InitialMapping
 from repro.core.priorities import PriorityFunction, criticality_priority
 from repro.core.schedule import EncodedCircuit, OperationKind, ScheduledOperation
-from repro.errors import SchedulingError
-from repro.routing.paths import CapacityUsage
-from repro.routing.router import find_path
+from repro.profiling.instrumentation import EngineCounters
+from repro.routing.paths import CapacityUsage, RoutedPath
 
 _SAFETY_FACTOR = 8
 
@@ -39,14 +48,27 @@ class LatticeSurgeryScheduler:
         priority: PriorityFunction = criticality_priority,
         congestion_weight: float = 0.25,
         method: str = "ecmas-ls",
+        engine: str = "reference",
+        max_cycles: int | None = None,
+        dag=None,
     ):
         self._circuit = circuit
         self._mapping = mapping
         self._priority = priority
         self._congestion_weight = congestion_weight
         self._method = method
-        self._dag = circuit.dag()
+        self._engine = check_engine(engine)
+        self._max_cycles = max_cycles
+        # A DAG precomputed by the pipeline's profile pass is reused as-is.
+        self._dag = dag if dag is not None else circuit.dag()
         self._graph = RoutingGraph(mapping.chip)
+        self._router = build_router(self._graph, self._engine)
+        self.counters = EngineCounters()
+
+    def _find_path(self, usage: CapacityUsage, source: Node, target: Node) -> RoutedPath | None:
+        return route_query(
+            self._router, self._graph, usage, source, target, self._congestion_weight, self.counters
+        )
 
     def run(self) -> EncodedCircuit:
         """Produce the encoded circuit."""
@@ -65,38 +87,54 @@ class LatticeSurgeryScheduler:
         completions: dict[int, list[int]] = defaultdict(list)
         scheduled: set[int] = set()
         operations: list[ScheduledOperation] = []
+        queue = (
+            IncrementalReadyQueue(self._dag, self._priority, frontier.ready_nodes())
+            if self._engine == "fast"
+            else None
+        )
+        # The fast engine reuses one usage tracker across cycles (cleared in
+        # place) instead of allocating a fresh one per cycle.
+        recycled_usage = CapacityUsage() if self._engine == "fast" else None
 
-        max_cycles = _SAFETY_FACTOR * (len(self._dag) + 10)
+        max_cycles = (
+            self._max_cycles if self._max_cycles is not None else _SAFETY_FACTOR * (len(self._dag) + 10)
+        )
         cycle = 0
         while not frontier.is_done():
             if cycle > max_cycles:
-                raise SchedulingError(
-                    f"lattice surgery scheduler exceeded {max_cycles} cycles; "
-                    f"{frontier.num_remaining} gates remain"
+                raise stalled_schedule_error(
+                    "lattice surgery", cycle, max_cycles, frontier, self._dag, busy_until, scheduled
                 )
             for node in completions.pop(cycle, []):
-                frontier.complete(node)
+                newly_ready = frontier.complete(node)
+                if queue is not None:
+                    queue.add(newly_ready)
 
-            ready = [node for node in frontier.ready_nodes() if node not in scheduled]
-            available = [
-                node
-                for node in ready
-                if busy_until[self._dag.gate(node).control] <= cycle
-                and busy_until[self._dag.gate(node).target] <= cycle
-            ]
-            order = self._priority(self._dag, available)
-            usage = CapacityUsage()
+            if queue is not None:
+                order = queue.available(busy_until, cycle)
+                usage = recycled_usage
+                usage.used.clear()
+                usage.node_used.clear()
+            else:
+                ready = [node for node in frontier.ready_nodes() if node not in scheduled]
+                available = [
+                    node
+                    for node in ready
+                    if busy_until[self._dag.gate(node).control] <= cycle
+                    and busy_until[self._dag.gate(node).target] <= cycle
+                ]
+                order = self._priority(self._dag, available)
+                usage = CapacityUsage()
 
             for node in order:
                 gate = self._dag.gate(node)
                 qubit_a, qubit_b = gate.control, gate.target
                 if busy_until[qubit_a] > cycle or busy_until[qubit_b] > cycle:
                     continue
-                path = find_path(
-                    self._graph, usage, self._tile(qubit_a), self._tile(qubit_b), self._congestion_weight
-                )
+                path = self._find_path(usage, self._tile(qubit_a), self._tile(qubit_b))
                 if path is None:
                     continue
+                self.counters.gates_scheduled += 1
                 usage.add_path(path)
                 operations.append(
                     ScheduledOperation(
@@ -112,9 +150,12 @@ class LatticeSurgeryScheduler:
                 busy_until[qubit_b] = cycle + 1
                 completions[cycle + 1].append(node)
                 scheduled.add(node)
+                if queue is not None:
+                    queue.discard(node)
 
             cycle += 1
 
+        self.counters.cycles_simulated = cycle
         result.operations = operations
         return result
 
@@ -127,7 +168,8 @@ def schedule_lattice_surgery(
     mapping: InitialMapping,
     priority: PriorityFunction = criticality_priority,
     method: str = "ecmas-ls",
+    engine: str = "reference",
 ) -> EncodedCircuit:
     """Convenience wrapper around :class:`LatticeSurgeryScheduler`."""
-    scheduler = LatticeSurgeryScheduler(circuit, mapping, priority=priority, method=method)
+    scheduler = LatticeSurgeryScheduler(circuit, mapping, priority=priority, method=method, engine=engine)
     return scheduler.run()

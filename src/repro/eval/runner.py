@@ -82,6 +82,7 @@ def run_method(
     paper_cycles: int | None = None,
     validate: bool = False,
     options: EcmasOptions | None = None,
+    engine: str = "reference",
 ) -> ExperimentRecord:
     """Compile and measure one data point; optionally validate the schedule."""
     result = run_pipeline_method(
@@ -91,8 +92,12 @@ def run_method(
         code_distance=code_distance,
         options=options,
         validate=validate,
+        engine=engine,
     )
     encoded = result.encoded
+    extra = {"stages": result.timings_dict(), "engine": engine}
+    if result.counters is not None:
+        extra["counters"] = result.counters
     return ExperimentRecord(
         circuit=circuit_name or circuit.name,
         method=method,
@@ -103,5 +108,5 @@ def run_method(
         compile_seconds=result.compile_seconds,
         chip=encoded.chip.describe(),
         paper_cycles=paper_cycles,
-        extra={"stages": result.timings_dict()},
+        extra=extra,
     )

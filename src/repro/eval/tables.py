@@ -61,6 +61,7 @@ def _run_grid(
     jobs: int | None,
     cache: ResultCache | Path | str | None,
     paper_lookup: bool = False,
+    engine: str = "reference",
 ) -> list[dict]:
     """Compile every (circuit, column) cell through the batch engine."""
     circuits = [spec.build() for spec in specs]
@@ -75,6 +76,7 @@ def _run_grid(
                     code_distance=code_distance,
                     paper_cycles=(spec.paper_cycles or {}).get(method) if paper_lookup else None,
                     validate=validate,
+                    engine=engine,
                 )
             )
     batch = run_batch(batch_jobs, workers=jobs, cache=cache)
@@ -109,6 +111,7 @@ def table1_overview(
     code_distance: int = 3,
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
+    engine: str = "reference",
 ) -> list[dict]:
     """Table I: cycle counts of every method over the benchmark suite."""
     specs = list(suite) if suite is not None else default_suite(include_large=include_large)
@@ -120,6 +123,7 @@ def table1_overview(
         jobs,
         cache,
         paper_lookup=True,
+        engine=engine,
     )
 
 
@@ -129,9 +133,10 @@ def _sensitivity_rows(
     code_distance: int,
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
+    engine: str = "reference",
 ) -> list[dict]:
     specs = list(suite) if suite is not None else sensitivity_suite()
-    return _run_grid(specs, columns, code_distance, False, jobs, cache)
+    return _run_grid(specs, columns, code_distance, False, jobs, cache, engine=engine)
 
 
 def table2_location(
@@ -139,9 +144,10 @@ def table2_location(
     code_distance: int = 3,
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
+    engine: str = "reference",
 ) -> list[dict]:
     """Table II: location-initialisation ablation (Trivial / Metis / Ours)."""
-    return _sensitivity_rows(TABLE2_COLUMNS, suite, code_distance, jobs, cache)
+    return _sensitivity_rows(TABLE2_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
 
 
 def table3_cut_initialisation(
@@ -149,9 +155,10 @@ def table3_cut_initialisation(
     code_distance: int = 3,
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
+    engine: str = "reference",
 ) -> list[dict]:
     """Table III: cut-type initialisation ablation (Random / Max-cut / Ours)."""
-    return _sensitivity_rows(TABLE3_COLUMNS, suite, code_distance, jobs, cache)
+    return _sensitivity_rows(TABLE3_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
 
 
 def table4_gate_scheduling(
@@ -159,9 +166,10 @@ def table4_gate_scheduling(
     code_distance: int = 3,
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
+    engine: str = "reference",
 ) -> list[dict]:
     """Table IV: gate-scheduling ablation in the lattice surgery model."""
-    return _sensitivity_rows(TABLE4_COLUMNS, suite, code_distance, jobs, cache)
+    return _sensitivity_rows(TABLE4_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
 
 
 def table5_cut_scheduling(
@@ -169,9 +177,10 @@ def table5_cut_scheduling(
     code_distance: int = 3,
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
+    engine: str = "reference",
 ) -> list[dict]:
     """Table V: cut-type scheduling ablation (Channel-first / Time-first / Ours)."""
-    return _sensitivity_rows(TABLE5_COLUMNS, suite, code_distance, jobs, cache)
+    return _sensitivity_rows(TABLE5_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
 
 
 def summarise_reduction(rows: list[dict], baseline: str, ours: str) -> dict:

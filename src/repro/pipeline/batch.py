@@ -34,8 +34,8 @@ from repro.circuits.circuit import Circuit
 from repro.core.ecmas import EcmasOptions
 
 #: Bump when a change invalidates previously cached results (scheduler or
-#: record format changes).
-CACHE_FORMAT_VERSION = 1
+#: record format changes).  2: canonical routing tie-break + engine field.
+CACHE_FORMAT_VERSION = 2
 
 #: Default cache location, overridable via the ``REPRO_CACHE_DIR`` variable.
 DEFAULT_CACHE_DIR = Path(
@@ -55,6 +55,10 @@ class BatchJob:
     options: EcmasOptions | None = None
     paper_cycles: int | None = None
     validate: bool = False
+    #: Algorithm 1 engine ("reference" / "fast").  Part of the fingerprint
+    #: even though schedules are engine-independent, because the cached
+    #: record carries engine-specific wall-clock times and counters.
+    engine: str = "reference"
 
     def fingerprint(self) -> str:
         """Content hash identifying this job's result."""
@@ -69,6 +73,7 @@ class BatchJob:
             "chip": _chip_key(self.chip),
             "options": asdict(self.options) if self.options is not None else None,
             "validate": self.validate,
+            "engine": self.engine,
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -171,6 +176,7 @@ def execute_job(job: BatchJob):
         paper_cycles=job.paper_cycles,
         validate=job.validate,
         options=job.options,
+        engine=job.engine,
     )
 
 

@@ -54,6 +54,10 @@ class PassContext:
     chip: Chip | None = None
     resources: str = "minimum"
     scheduler: str = "auto"
+    #: Algorithm 1 hot-path engine: ``"reference"`` or ``"fast"`` (identical
+    #: schedules; the fast engine uses incremental ready-set maintenance and
+    #: landmark A* routing).  Ecmas-ReSu (Algorithm 2) ignores this knob.
+    engine: str = "reference"
     validate: bool = False
 
     # -- artifacts (produced by passes) -----------------------------------
@@ -165,6 +169,21 @@ class PipelineResult:
     def stage_seconds(self, name: str) -> float:
         """Seconds spent in the stage called ``name`` (0.0 when absent)."""
         return sum(t.seconds for t in self.timings if t.name == name)
+
+    @property
+    def counters(self) -> dict | None:
+        """Scheduling-engine work counters (``None`` before the schedule pass).
+
+        Filled by :class:`~repro.pipeline.passes.SchedulePass` from the
+        engine's :class:`~repro.profiling.EngineCounters`: route calls,
+        search-node expansions, memoized landmark tables, cycles simulated…
+        """
+        return self.context.artifacts.get("engine_counters")
+
+    @property
+    def engine(self) -> str:
+        """The Algorithm 1 engine this compilation ran with."""
+        return self.context.engine
 
     def timings_dict(self) -> dict[str, float]:
         """Stage name → seconds, in execution order."""

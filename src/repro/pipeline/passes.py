@@ -42,6 +42,7 @@ from repro.core.mapping import (
 )
 from repro.core.metrics import chip_communication_capacity
 from repro.core.priorities import circuit_order_priority, criticality_priority, descendant_priority
+from repro.core.engines import check_engine
 from repro.core.resu import schedule_resu_double_defect, schedule_resu_lattice_surgery
 from repro.core.scheduler_dd import DoubleDefectScheduler
 from repro.core.scheduler_ls import LatticeSurgeryScheduler
@@ -213,6 +214,10 @@ class SelectSchedulerPass(Pass):
     method_label:
         Method string stamped on the encoded circuit (``None`` keeps the
         engine's default, e.g. ``"ecmas-dd"``).
+    engine:
+        Overrides ``ctx.engine`` (``"reference"`` / ``"fast"``); the fast
+        engine swaps the Algorithm 1 hot path for incremental ready-set
+        maintenance plus landmark A* routing, with identical schedules.
     """
 
     name = "select_scheduler"
@@ -225,6 +230,7 @@ class SelectSchedulerPass(Pass):
         cut_strategy: str | Callable | None = None,
         congestion_weight: float | None = None,
         method_label: str | None = None,
+        engine: str | None = None,
     ):
         self._scheduler = scheduler
         self._priority = priority
@@ -232,8 +238,10 @@ class SelectSchedulerPass(Pass):
         self._cut_strategy = cut_strategy
         self._congestion_weight = congestion_weight
         self._method_label = method_label
+        self._engine = engine
 
     def run(self, ctx: PassContext) -> None:
+        ctx.engine = check_engine(self._engine or ctx.engine)
         scheduler = self._scheduler or ctx.scheduler
         if scheduler == "auto":
             parallelism = ctx.ensure_parallelism()
@@ -284,33 +292,41 @@ class SchedulePass(Pass):
         if ctx.use_resu is None or ctx.priority_fn is None or ctx.cut_strategy_fn is None:
             raise SchedulingError("scheduler not selected — run SelectScheduler first")
         circuit, label = ctx.circuit, ctx.method_label
+        scheduler = None
         if ctx.model is SurfaceCodeModel.DOUBLE_DEFECT:
             if ctx.use_resu:
                 ctx.encoded = schedule_resu_double_defect(
                     circuit, mapping, **({"method": label} if label else {})
                 )
             else:
-                ctx.encoded = DoubleDefectScheduler(
+                scheduler = DoubleDefectScheduler(
                     circuit,
                     mapping,
                     priority=ctx.priority_fn,
                     cut_strategy=ctx.cut_strategy_fn,
                     congestion_weight=ctx.congestion_weight,
+                    engine=ctx.engine,
+                    dag=ctx.dag,
                     **({"method": label} if label else {}),
-                ).run()
+                )
         else:
             if ctx.use_resu:
                 ctx.encoded = schedule_resu_lattice_surgery(
                     circuit, mapping, **({"method": label} if label else {})
                 )
             else:
-                ctx.encoded = LatticeSurgeryScheduler(
+                scheduler = LatticeSurgeryScheduler(
                     circuit,
                     mapping,
                     priority=ctx.priority_fn,
                     congestion_weight=ctx.congestion_weight,
+                    engine=ctx.engine,
+                    dag=ctx.dag,
                     **({"method": label} if label else {}),
-                ).run()
+                )
+        if scheduler is not None:
+            ctx.encoded = scheduler.run()
+            ctx.artifacts["engine_counters"] = scheduler.counters.as_dict()
 
 
 class ValidatePass(Pass):

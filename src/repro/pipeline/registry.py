@@ -34,6 +34,7 @@ from repro.circuits.circuit import Circuit
 from repro.circuits.dag import GateDAG
 from repro.core.cut_decisions import never_modify_strategy
 from repro.core.ecmas import EcmasOptions
+from repro.core.priorities import static_priority
 from repro.errors import ReproError
 from repro.pipeline.framework import Pass, PassContext, Pipeline, PipelineResult
 from repro.pipeline.passes import (
@@ -52,6 +53,7 @@ LS = SurfaceCodeModel.LATTICE_SURGERY
 
 
 # ------------------------------------------------------------ gate priorities
+@static_priority(lambda dag, node: (-dag.criticality(node), node))
 def braidflash_priority(dag: GateDAG, ready: Sequence[int]) -> list[int]:
     """Critical-path gates first, then program order (no descendant tie-break)."""
     return sorted(ready, key=lambda node: (-dag.criticality(node), node))
@@ -61,12 +63,13 @@ def edp_priority_factory(ctx: PassContext) -> Callable:
     """EDPCI gate order: shortest placed tile separation first, then program order."""
     placement = ctx.require_mapping().placement
 
-    def priority(dag: GateDAG, ready: Sequence[int]) -> list[int]:
-        def separation(node: int) -> int:
-            gate = dag.gate(node)
-            return placement.slot_of(gate.control).manhattan_distance(placement.slot_of(gate.target))
+    def separation(dag: GateDAG, node: int) -> int:
+        gate = dag.gate(node)
+        return placement.slot_of(gate.control).manhattan_distance(placement.slot_of(gate.target))
 
-        return sorted(ready, key=lambda node: (separation(node), node))
+    @static_priority(lambda dag, node: (separation(dag, node), node))
+    def priority(dag: GateDAG, ready: Sequence[int]) -> list[int]:
+        return sorted(ready, key=lambda node: (separation(dag, node), node))
 
     return priority
 
@@ -268,12 +271,15 @@ def run_pipeline_method(
     code_distance: int = 3,
     options: EcmasOptions | None = None,
     validate: bool = False,
+    engine: str = "reference",
 ) -> PipelineResult:
     """Compile ``circuit`` with a named method and return the full result.
 
     ``model`` / ``resources`` / ``scheduler`` default to the method's
     registered configuration; an explicit ``chip`` overrides ``resources``
-    entirely (as in :func:`repro.compile_circuit`).
+    entirely (as in :func:`repro.compile_circuit`).  ``engine`` selects the
+    Algorithm 1 hot path (``"reference"`` / ``"fast"``); both produce
+    identical schedules.
     """
     spec = resolve_method(method)
     ctx = PassContext(
@@ -284,6 +290,7 @@ def run_pipeline_method(
         chip=chip,
         resources=resources if resources is not None else spec.resources,
         scheduler=scheduler if scheduler is not None else spec.scheduler,
+        engine=engine,
         validate=validate,
     )
     result = Pipeline(spec.build_passes(), name=spec.name).run(ctx)

@@ -1,0 +1,11 @@
+"""Profiling instrumentation for the scheduling/routing hot path."""
+
+from repro.profiling.compare import EngineComparison, compare_engines
+from repro.profiling.instrumentation import EngineCounters, StageTimer
+
+__all__ = [
+    "EngineCounters",
+    "StageTimer",
+    "EngineComparison",
+    "compare_engines",
+]

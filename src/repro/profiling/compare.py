@@ -1,0 +1,82 @@
+"""Reference-vs-fast engine comparison on a single compilation.
+
+:func:`compare_engines` runs one (circuit, method) job through the pipeline
+twice — once per engine — and reports wall-clock, counters and schedule
+parity side by side.  It backs the ``repro profile`` CLI subcommand and the
+``benchmarks/test_engine_speed.py`` perf baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits.circuit import Circuit
+from repro.core.ecmas import EcmasOptions
+
+
+@dataclass
+class EngineComparison:
+    """Measured outcome of compiling one job with both engines."""
+
+    circuit: str
+    method: str
+    cycles: int
+    schedules_identical: bool
+    compile_seconds: dict[str, float] = field(default_factory=dict)
+    schedule_seconds: dict[str, float] = field(default_factory=dict)
+    counters: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def compile_speedup(self) -> float:
+        """Whole-pipeline wall-clock ratio (reference / fast)."""
+        fast = self.compile_seconds.get("fast", 0.0)
+        return self.compile_seconds.get("reference", 0.0) / fast if fast else 0.0
+
+    @property
+    def schedule_speedup(self) -> float:
+        """Schedule-stage wall-clock ratio (reference / fast) — the hot path."""
+        fast = self.schedule_seconds.get("fast", 0.0)
+        return self.schedule_seconds.get("reference", 0.0) / fast if fast else 0.0
+
+
+def compare_engines(
+    circuit: Circuit,
+    method: str = "ecmas_dd_min",
+    code_distance: int = 3,
+    options: EcmasOptions | None = None,
+) -> EngineComparison:
+    """Compile ``circuit`` with both engines and measure the difference.
+
+    Raises :class:`~repro.errors.SchedulingError` via the pipeline if the
+    method cannot run; schedule parity is *reported*, not asserted — the
+    differential test harness is where parity is enforced.
+    """
+    from repro.pipeline.registry import run_pipeline_method
+
+    results = {}
+    for engine in ("reference", "fast"):
+        results[engine] = run_pipeline_method(
+            circuit, method, code_distance=code_distance, options=options, engine=engine
+        )
+    reference, fast = results["reference"], results["fast"]
+    return EngineComparison(
+        circuit=circuit.name,
+        method=method,
+        cycles=reference.encoded.num_cycles,
+        schedules_identical=(
+            reference.encoded.num_cycles == fast.encoded.num_cycles
+            and reference.encoded.operations == fast.encoded.operations
+        ),
+        compile_seconds={
+            "reference": reference.compile_seconds,
+            "fast": fast.compile_seconds,
+        },
+        schedule_seconds={
+            "reference": reference.stage_seconds("schedule"),
+            "fast": fast.stage_seconds("schedule"),
+        },
+        counters={
+            "reference": dict(reference.counters or {}),
+            "fast": dict(fast.counters or {}),
+        },
+    )

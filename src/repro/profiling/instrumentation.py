@@ -1,0 +1,75 @@
+"""Counters and timers for the scheduling/routing hot path.
+
+The paper's headline claim is compile-time efficiency, so speedups here are
+measured, not asserted: every Algorithm 1 scheduler fills an
+:class:`EngineCounters` while it runs, the pipeline surfaces it through
+:attr:`PipelineResult.counters <repro.pipeline.framework.PipelineResult>`,
+and the ``repro profile`` CLI subcommand prints reference-vs-fast
+comparisons built from :func:`repro.profiling.compare.compare_engines`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+
+
+@dataclass
+class EngineCounters:
+    """Work counters accumulated by one scheduling run.
+
+    ``nodes_expanded`` is the number of search-node expansions across every
+    path query — the quantity the fast router's landmark heuristic shrinks.
+    ``landmark_tables`` stays 0 on the reference engine.
+    """
+
+    route_calls: int = 0
+    route_failures: int = 0
+    nodes_expanded: int = 0
+    landmark_tables: int = 0
+    static_path_hits: int = 0
+    cycles_simulated: int = 0
+    gates_scheduled: int = 0
+    cut_modifications: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict view (stored in pipeline artifacts / JSON exports)."""
+        return asdict(self)
+
+    @property
+    def expansions_per_route(self) -> float:
+        """Average search effort per path query (0.0 before any query)."""
+        if not self.route_calls:
+            return 0.0
+        return self.nodes_expanded / self.route_calls
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall-clock seconds for named sub-stages of one run.
+
+    The pipeline already times whole passes; this timer is for finer-grained
+    accounting inside a single pass (e.g. routing vs bookkeeping inside the
+    schedule stage) where creating a pass per sub-stage would be noise.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    class _Span:
+        def __init__(self, timer: "StageTimer", name: str):
+            self._timer = timer
+            self._name = name
+            self._started = 0.0
+
+        def __enter__(self) -> "StageTimer._Span":
+            self._started = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc_info) -> None:
+            elapsed = time.perf_counter() - self._started
+            seconds = self._timer.seconds
+            seconds[self._name] = seconds.get(self._name, 0.0) + elapsed
+
+    def span(self, name: str) -> "_Span":
+        """Context manager adding its elapsed time to sub-stage ``name``."""
+        return self._Span(self, name)

@@ -1,6 +1,7 @@
 """Routing substrate: capacity-aware path search over the corridor graph."""
 
 from repro.routing.edp import can_route_simultaneously, max_simultaneous, route_edge_disjoint
+from repro.routing.fast_router import FastRouter
 from repro.routing.paths import CapacityUsage, RoutedPath
 from repro.routing.router import CycleRouter, CycleRoutingResult, RoutingRequest, find_path
 
@@ -8,6 +9,7 @@ __all__ = [
     "RoutedPath",
     "CapacityUsage",
     "find_path",
+    "FastRouter",
     "CycleRouter",
     "CycleRoutingResult",
     "RoutingRequest",

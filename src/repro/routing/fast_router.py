@@ -1,0 +1,192 @@
+"""Goal-directed routing for the fast scheduling engine.
+
+:class:`FastRouter` answers exactly the same queries as
+:func:`repro.routing.router.find_path` — the canonical (minimal-cost,
+lexicographically-smallest) capacity-feasible path between two tiles — but
+explores a fraction of the graph:
+
+* **Memoized landmark distances.**  For every target tile the router runs one
+  backward breadth-first search over the static graph and memoizes the hop
+  distance of every node to that target.  Schedulers route towards the same
+  few operand tiles thousands of times, so each table is built once and then
+  amortised across the whole schedule.
+* **Early-exit goal-directed search.**  The forward search is an A* whose
+  heuristic is the memoized backward distance (the two directions together
+  form an early-exit bidirectional scheme: one static backward sweep, one
+  residual-aware forward sweep that stops the moment the target is settled).
+  Every edge costs at least one hop, so the hop distance is a consistent
+  heuristic and the first pop of the target is optimal.
+
+Because the canonical tie-break of :func:`find_path` is part of the search
+key — heap entries order by ``(cost + h, cost, node-sequence)`` — the fast
+search is exploration-order independent and returns bit-identical paths to
+the reference implementation.  ``tests/test_properties_routing.py`` and
+``tests/test_differential_engines.py`` enforce this equivalence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+from repro.chip.routing_graph import Node, RoutingGraph
+from repro.routing.paths import CapacityUsage, RoutedPath
+from repro.routing.router import check_route_endpoints
+
+#: Sentinel greater than every (cost, nodes) candidate.
+_INFINITY = (float("inf"), ())
+
+#: Distinguishes "no cache entry" from a cached ``None`` (unroutable pair).
+_UNCACHED = object()
+
+
+class FastRouter:
+    """Capacity-aware router with memoized landmark tables and A* search.
+
+    One instance serves one :class:`RoutingGraph`; the landmark tables and
+    the flattened adjacency/capacity lookups are shared across every
+    :meth:`find` call, which is where the reuse pays off.
+    """
+
+    def __init__(self, graph: RoutingGraph):
+        self._graph = graph
+        self._landmarks: dict[Node, dict[Node, int]] = {}
+        #: Canonical paths on the *empty* usage state, keyed by (source,
+        #: target).  With no reservations every congestion penalty is zero,
+        #: so the canonical path depends only on the endpoints — schedulers
+        #: re-ask for the same unloaded pairs every cycle.
+        self._static_paths: dict[tuple[Node, Node], RoutedPath | None] = {}
+        # Flattened static lookups: per-node neighbor list annotated with the
+        # edge key and base capacity, plus junction through-capacities.  The
+        # inner loop then never touches RoutingGraph methods.
+        self._neighbors: dict[Node, tuple[tuple[Node, tuple[Node, Node], int, bool], ...]] = {}
+        for node in graph.nodes:
+            entries = []
+            for neighbor in graph.neighbors(node):
+                key = (node, neighbor) if node <= neighbor else (neighbor, node)
+                entries.append((neighbor, key, graph.capacity(node, neighbor), graph.is_tile(neighbor)))
+            self._neighbors[node] = tuple(entries)
+        self._node_capacity = {
+            node: graph.node_capacity(node) for node in graph.nodes if not graph.is_tile(node)
+        }
+
+    @property
+    def graph(self) -> RoutingGraph:
+        """The routing graph this router serves."""
+        return self._graph
+
+    # ------------------------------------------------------------- landmarks
+    def distances_to(self, target: Node) -> dict[Node, int]:
+        """Static hop distance of every reachable node to ``target``.
+
+        Computed by one backward BFS that, like the forward search, never
+        passes *through* a tile node: tiles receive a distance (they can start
+        a path) but are not expanded.  Tables are memoized per target.
+        """
+        table = self._landmarks.get(target)
+        if table is None:
+            table = {target: 0}
+            queue = deque((target,))
+            is_tile = self._graph.is_tile
+            while queue:
+                node = queue.popleft()
+                if node != target and is_tile(node):
+                    continue  # tiles are endpoints only — never expand through
+                distance = table[node] + 1
+                for neighbor, _key, _capacity, _is_tile in self._neighbors[node]:
+                    if neighbor not in table:
+                        table[neighbor] = distance
+                        queue.append(neighbor)
+            self._landmarks[target] = table
+        return table
+
+    # ----------------------------------------------------------------- search
+    def find(
+        self,
+        usage: CapacityUsage,
+        source: Node,
+        target: Node,
+        congestion_weight: float = 0.0,
+        stats=None,
+    ) -> RoutedPath | None:
+        """The canonical path from ``source`` to ``target`` under ``usage``.
+
+        Semantically identical to :func:`repro.routing.router.find_path` on
+        this router's graph — same feasibility rules, same cost, same
+        lexicographic tie-break — but goal-directed and early-exiting.
+        """
+        check_route_endpoints(self._graph, source, target)
+        if not usage.used and not usage.node_used:
+            key = (source, target)
+            cached = self._static_paths.get(key, _UNCACHED)
+            if cached is not _UNCACHED:
+                if stats is not None:
+                    stats.static_path_hits += 1
+                return cached
+            path = self._search(usage, source, target, congestion_weight, stats)
+            self._static_paths[key] = path
+            return path
+        return self._search(usage, source, target, congestion_weight, stats)
+
+    def _search(
+        self,
+        usage: CapacityUsage,
+        source: Node,
+        target: Node,
+        congestion_weight: float,
+        stats,
+    ) -> RoutedPath | None:
+        remaining = self.distances_to(target)
+        if stats is not None:
+            stats.landmark_tables = len(self._landmarks)
+        heuristic = remaining.get(source)
+        if heuristic is None:
+            if stats is not None:
+                stats.route_failures += 1
+            return None  # statically disconnected — no residual path can exist
+        edge_used = usage.used
+        node_used = usage.node_used
+        node_capacity = self._node_capacity
+        neighbors = self._neighbors
+        # A* over (cost + h, cost, node-sequence).  The hop distance h is
+        # consistent (every edge costs >= 1), so the first pop of the target
+        # carries the minimal cost; ordering entries by (cost, sequence) after
+        # the f-value makes that first pop the canonical lexicographic
+        # minimum as well: any prefix of a smaller equal-cost path has a
+        # strictly smaller key than a full-path target entry, hence is
+        # expanded before the target can be popped.
+        best: dict[Node, tuple[float, tuple[Node, ...]]] = {source: (0.0, (source,))}
+        heap: list[tuple[float, float, tuple[Node, ...]]] = [(float(heuristic), 0.0, (source,))]
+        expanded = 0
+        while heap:
+            _f, cost, nodes = heapq.heappop(heap)
+            node = nodes[-1]
+            if node == target:
+                if stats is not None:
+                    stats.nodes_expanded += expanded
+                return RoutedPath.from_nodes(self._graph, list(nodes))
+            if best.get(node, (cost, nodes)) != (cost, nodes):
+                continue  # superseded after pushing
+            expanded += 1
+            for neighbor, key, capacity, is_tile in neighbors[node]:
+                if is_tile and neighbor != target:
+                    continue  # tiles are endpoints only
+                load = edge_used.get(key, 0)
+                if load >= capacity:
+                    continue
+                if neighbor != target and node_used.get(neighbor, 0) >= node_capacity[neighbor]:
+                    continue  # the junction has no free lane to pass through
+                h = remaining.get(neighbor)
+                if h is None:
+                    continue  # cannot reach the target from here
+                new_cost = cost + 1.0
+                if congestion_weight and load:
+                    new_cost += congestion_weight * load
+                candidate = (new_cost, nodes + (neighbor,))
+                if candidate < best.get(neighbor, _INFINITY):
+                    best[neighbor] = candidate
+                    heapq.heappush(heap, (new_cost + h, new_cost, candidate[1]))
+        if stats is not None:
+            stats.nodes_expanded += expanded
+            stats.route_failures += 1
+        return None

@@ -6,6 +6,21 @@ two endpoints are never traversed, and among shortest paths the one with the
 least congestion is preferred.  :class:`CycleRouter` routes a prioritised list
 of CNOT gates within a single clock cycle, optionally applying one round of
 rip-up-and-reroute to squeeze in gates that a purely greedy order would block.
+
+Canonical path contract
+-----------------------
+Among all capacity-feasible paths of minimal cost (hops plus congestion
+penalty), :func:`find_path` returns the one whose node sequence is
+lexicographically smallest.  The tie-break makes the result a pure function
+of (graph, usage, endpoints, weight) rather than of heap exploration order,
+which is what lets the fast engine
+(:class:`~repro.routing.fast_router.FastRouter`) replace this search with a
+goal-directed one and still produce bit-identical schedules.
+
+Carrying the node sequence in the heap keys costs this reference search a
+constant factor over a parent-pointer Dijkstra.  That is deliberate: this
+implementation optimises for being obviously correct, and callers who care
+about wall-clock select ``engine="fast"``.
 """
 
 from __future__ import annotations
@@ -18,34 +33,51 @@ from repro.errors import RoutingError
 from repro.routing.paths import CapacityUsage, RoutedPath
 
 
+def check_route_endpoints(graph: RoutingGraph, source: Node, target: Node) -> None:
+    """Raise :class:`RoutingError` unless ``source``/``target`` are distinct tiles."""
+    if source == target:
+        raise RoutingError("source and target tiles must differ")
+    if not graph.is_tile(source) or not graph.is_tile(target):
+        raise RoutingError("paths are routed between tile nodes")
+
+
 def find_path(
     graph: RoutingGraph,
     usage: CapacityUsage,
     source: Node,
     target: Node,
     congestion_weight: float = 0.0,
+    stats=None,
 ) -> RoutedPath | None:
     """Find a path from tile ``source`` to tile ``target`` respecting residual capacity.
 
     Returns ``None`` when no path exists under the current usage.  With
     ``congestion_weight > 0`` the search prefers less-used edges, trading a
-    slightly longer path for better packing of later gates.
+    slightly longer path for better packing of later gates.  Ties between
+    equal-cost paths resolve to the lexicographically smallest node sequence
+    (see the module docstring).  ``stats`` may be an
+    :class:`~repro.profiling.EngineCounters` to account search effort.
     """
-    if source == target:
-        raise RoutingError("source and target tiles must differ")
-    if not graph.is_tile(source) or not graph.is_tile(target):
-        raise RoutingError("paths are routed between tile nodes")
-    # Dijkstra over (cost, node); cost = hops + congestion penalty.
-    best_cost: dict[Node, float] = {source: 0.0}
-    parent: dict[Node, Node] = {}
-    heap: list[tuple[float, int, Node]] = [(0.0, 0, source)]
-    counter = 0
+    check_route_endpoints(graph, source, target)
+    # Dijkstra over (cost, node-sequence): the lexicographic tie-break is part
+    # of the heap key, so the first pop of the target is the canonical path.
+    # Extending two equal-cost paths by the same suffix preserves their
+    # relative order (the first differing node stays inside the prefixes),
+    # which gives this ordering the optimal-substructure property Dijkstra
+    # needs.
+    best: dict[Node, tuple[float, tuple[Node, ...]]] = {source: (0.0, (source,))}
+    heap: list[tuple[float, tuple[Node, ...]]] = [(0.0, (source,))]
+    expanded = 0
     while heap:
-        cost, _, node = heapq.heappop(heap)
+        cost, nodes = heapq.heappop(heap)
+        node = nodes[-1]
         if node == target:
-            break
-        if cost > best_cost.get(node, float("inf")):
-            continue
+            if stats is not None:
+                stats.nodes_expanded += expanded
+            return RoutedPath.from_nodes(graph, list(nodes))
+        if best.get(node, (cost, nodes)) != (cost, nodes):
+            continue  # a better route to this node was found after pushing
+        expanded += 1
         for neighbor in graph.neighbors(node):
             if graph.is_tile(neighbor) and neighbor != target:
                 continue  # tiles are endpoints only
@@ -57,19 +89,18 @@ def find_path(
             if congestion_weight:
                 load = usage.used.get((node, neighbor) if node <= neighbor else (neighbor, node), 0)
                 penalty = congestion_weight * load
-            new_cost = cost + 1.0 + penalty
-            if new_cost < best_cost.get(neighbor, float("inf")):
-                best_cost[neighbor] = new_cost
-                parent[neighbor] = node
-                counter += 1
-                heapq.heappush(heap, (new_cost, counter, neighbor))
-    if target not in parent:
-        return None
-    nodes = [target]
-    while nodes[-1] != source:
-        nodes.append(parent[nodes[-1]])
-    nodes.reverse()
-    return RoutedPath.from_nodes(graph, nodes)
+            candidate = (cost + 1.0 + penalty, nodes + (neighbor,))
+            if candidate < best.get(neighbor, _INFINITY):
+                best[neighbor] = candidate
+                heapq.heappush(heap, candidate)
+    if stats is not None:
+        stats.nodes_expanded += expanded
+        stats.route_failures += 1
+    return None
+
+
+#: Sentinel greater than every (cost, nodes) candidate.
+_INFINITY = (float("inf"), ())
 
 
 @dataclass(frozen=True)

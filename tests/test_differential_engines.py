@@ -1,0 +1,96 @@
+"""Differential harness: the fast engine is schedule-for-schedule identical.
+
+Every built-in (non-large) benchmark circuit is compiled with the reference
+and the fast engine for each Algorithm 1 method family — Ecmas-dd, Ecmas-ls,
+AutoBraid and Braidflash — and the two runs must agree on the *entire*
+operation list, not just the cycle count.  The fast schedule is additionally
+replayed through the validator, so a bug that made both engines identically
+wrong about resource constraints would still be caught.
+
+This harness is what licenses every future hot-path optimisation: an engine
+change that alters any schedule anywhere in the suite fails here with the
+exact (circuit, method) pair.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits.generators import default_suite
+from repro.pipeline.registry import run_pipeline_method
+from repro.profiling import compare_engines
+from repro.verify import validate_encoded_circuit
+
+#: The Algorithm 1 method families of the paper's evaluation.  Ecmas-ReSu
+#: (Algorithm 2) has no fast variant and ignores the engine knob.
+METHODS = ("ecmas_dd_min", "ecmas_ls_min", "autobraid", "braidflash")
+
+_SUITE = {spec.name: spec for spec in default_suite(include_large=False)}
+
+
+@pytest.fixture(scope="module")
+def circuits():
+    """Each benchmark circuit, built once for the whole module."""
+    return {name: spec.build() for name, spec in _SUITE.items()}
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("name", sorted(_SUITE))
+def test_engines_schedule_identically(circuits, name, method):
+    circuit = circuits[name]
+    reference = run_pipeline_method(circuit, method, engine="reference")
+    fast = run_pipeline_method(circuit, method, engine="fast")
+
+    assert fast.encoded.num_cycles == reference.encoded.num_cycles, (
+        f"{method} on {name}: fast engine produced {fast.encoded.num_cycles} cycles, "
+        f"reference {reference.encoded.num_cycles}"
+    )
+    assert fast.encoded.operations == reference.encoded.operations, (
+        f"{method} on {name}: engines agree on cycle count but not on the schedule"
+    )
+
+    report = validate_encoded_circuit(circuit, fast.encoded)
+    assert report.valid, f"{method} on {name}: fast schedule invalid: {report.errors[:3]}"
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_fast_engine_reports_landmark_reuse(circuits, method):
+    """The fast engine actually exercises its hot-path machinery."""
+    result = run_pipeline_method(circuits["qft_n10"], method, engine="fast")
+    counters = result.counters
+    assert result.engine == "fast"
+    assert counters is not None
+    assert counters["route_calls"] > 0
+    assert counters["landmark_tables"] > 0
+    # Goal-directed search must beat exhaustive Dijkstra on explored nodes.
+    reference = run_pipeline_method(circuits["qft_n10"], method, engine="reference")
+    assert counters["nodes_expanded"] < reference.counters["nodes_expanded"]
+
+
+def test_compare_engines_reports_parity(circuits):
+    comparison = compare_engines(circuits["dnn_n8"], "ecmas_dd_min")
+    assert comparison.schedules_identical
+    assert comparison.cycles > 0
+    assert comparison.compile_seconds["reference"] > 0.0
+    assert comparison.compile_seconds["fast"] > 0.0
+    assert comparison.counters["fast"]["landmark_tables"] > 0
+    assert comparison.counters["reference"]["landmark_tables"] == 0
+
+
+def test_random_priority_falls_back_identically(circuits):
+    """Priorities without a static key still schedule identically on both engines."""
+    from repro.chip.geometry import SurfaceCodeModel
+    from repro.core.ecmas import default_chip, prepare_mapping
+    from repro.core.priorities import random_priority
+    from repro.core.scheduler_dd import DoubleDefectScheduler
+
+    circuit = circuits["adder_n10"]
+    model = SurfaceCodeModel.DOUBLE_DEFECT
+    mapping = prepare_mapping(circuit, default_chip(circuit, model), model)
+    runs = {
+        engine: DoubleDefectScheduler(
+            circuit, mapping, priority=random_priority(seed=11), engine=engine
+        ).run()
+        for engine in ("reference", "fast")
+    }
+    assert runs["reference"].operations == runs["fast"].operations
