@@ -11,7 +11,15 @@ The public API mirrors the paper's toolflow:
   :mod:`repro.eval`).
 """
 
-from repro.chip import Chip, SurfaceCodeModel, TileSlot
+from repro.chip import (
+    Chip,
+    DefectSpec,
+    SurfaceCodeModel,
+    TileSlot,
+    load_chip_spec,
+    random_defects,
+    save_chip_spec,
+)
 from repro.circuits import Circuit, CommunicationGraph, Gate, GateDAG
 from repro.core import (
     EcmasOptions,
@@ -36,7 +44,7 @@ from repro.pipeline import (
 )
 from repro.profiling import EngineComparison, EngineCounters, compare_engines
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -47,6 +55,10 @@ __all__ = [
     "Chip",
     "TileSlot",
     "SurfaceCodeModel",
+    "DefectSpec",
+    "random_defects",
+    "load_chip_spec",
+    "save_chip_spec",
     "compile_circuit",
     "default_chip",
     "EcmasOptions",

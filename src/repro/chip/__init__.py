@@ -1,6 +1,7 @@
-"""Chip substrate: physical-qubit accounting, tile arrays and routing graphs."""
+"""Chip substrate: physical-qubit accounting, tile arrays, defects and routing graphs."""
 
 from repro.chip.chip import Chip, TileSlot
+from repro.chip.defects import NO_DEFECTS, DefectSpec, chip_is_routable, random_defects
 from repro.chip.geometry import (
     SurfaceCodeModel,
     channel_bandwidth,
@@ -12,10 +13,13 @@ from repro.chip.geometry import (
     tile_side,
 )
 from repro.chip.routing_graph import RoutingGraph, edge_key, junction, tile_node, tile_node_for
+from repro.chip.spec import chip_from_dict, chip_to_dict, load_chip_spec, save_chip_spec
 
 __all__ = [
     "Chip",
     "TileSlot",
+    "DefectSpec",
+    "NO_DEFECTS",
     "SurfaceCodeModel",
     "RoutingGraph",
     "junction",
@@ -29,4 +33,10 @@ __all__ = [
     "communication_capacity",
     "sufficient_bandwidth",
     "minimum_viable_side",
+    "chip_is_routable",
+    "random_defects",
+    "chip_to_dict",
+    "chip_from_dict",
+    "load_chip_spec",
+    "save_chip_spec",
 ]

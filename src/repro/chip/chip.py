@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, replace
 
 from repro.chip import geometry
+from repro.chip.defects import NO_DEFECTS, DefectSpec, SegmentKey
 from repro.chip.geometry import SurfaceCodeModel
 from repro.errors import ChipError
 
@@ -53,6 +54,9 @@ class Chip:
     h_bandwidths: tuple[int, ...]
     v_bandwidths: tuple[int, ...]
     side: int
+    #: Fabrication defects: dead tiles and degraded / disabled corridor
+    #: segments.  Defaults to the pristine chip; see :mod:`repro.chip.defects`.
+    defects: DefectSpec = NO_DEFECTS
 
     def __post_init__(self) -> None:
         if self.tile_rows < 1 or self.tile_cols < 1:
@@ -67,6 +71,7 @@ class Chip:
             )
         if any(b < 1 for b in self.h_bandwidths + self.v_bandwidths):
             raise ChipError("every corridor must have bandwidth at least 1")
+        self.defects.validate_for(self.tile_rows, self.tile_cols)
 
     # ------------------------------------------------------------- factories
     @classmethod
@@ -157,13 +162,30 @@ class Chip:
 
     @property
     def bandwidth(self) -> int:
-        """The chip bandwidth: the minimum bandwidth over all corridors."""
-        return min(min(self.h_bandwidths), min(self.v_bandwidths))
+        """The chip bandwidth: the minimum capacity over all enabled corridor segments.
+
+        On a pristine chip this is the minimum corridor bandwidth of the
+        paper; with defects, per-segment overrides lower it and disabled
+        segments are excluded (a fully disconnected corridor grid reports 0).
+        """
+        if self.defects.is_empty:
+            return min(min(self.h_bandwidths), min(self.v_bandwidths))
+        capacities = [
+            capacity for _key, capacity in self.corridor_segments() if capacity > 0
+        ]
+        return min(capacities) if capacities else 0
 
     @property
     def communication_capacity(self) -> int:
-        """Chip communication capacity ``⌊(b-1)/2⌋ + 3`` (Theorem 2)."""
-        return geometry.communication_capacity(self.bandwidth)
+        """Chip communication capacity ``⌊(b-1)/2⌋ + 3`` (Theorem 2).
+
+        A defective chip whose corridor grid is fully disabled has no
+        communication capacity at all.
+        """
+        bandwidth = self.bandwidth
+        if bandwidth < 1:
+            return 0
+        return geometry.communication_capacity(bandwidth)
 
     @property
     def physical_qubits(self) -> int:
@@ -177,6 +199,53 @@ class Chip:
     def contains_slot(self, slot: TileSlot) -> bool:
         """True when ``slot`` lies within the tile array."""
         return 0 <= slot.row < self.tile_rows and 0 <= slot.col < self.tile_cols
+
+    # ---------------------------------------------------------------- defects
+    def with_defects(self, defects: DefectSpec) -> "Chip":
+        """Return a chip with ``defects`` attached (replacing any existing spec)."""
+        return replace(self, defects=defects)
+
+    def is_dead_slot(self, slot: TileSlot) -> bool:
+        """True when ``slot`` is a dead tile."""
+        return (slot.row, slot.col) in self.defects.dead_set()
+
+    def alive_tile_slots(self) -> list[TileSlot]:
+        """All non-dead tile slots in row-major order."""
+        dead = self.defects.dead_set()
+        return [slot for slot in self.tile_slots() if (slot.row, slot.col) not in dead]
+
+    @property
+    def num_alive_tile_slots(self) -> int:
+        """Number of tile slots that can host a logical qubit."""
+        return self.num_tile_slots - len(self.defects.dead_tiles)
+
+    def segment_capacity(self, key: SegmentKey) -> int:
+        """Effective lane count of one corridor segment (0 when disabled).
+
+        The nominal capacity is the corridor's bandwidth; per-segment
+        overrides and disabled segments from :attr:`defects` take precedence.
+        Overrides model *degraded* hardware, so they are clamped to the
+        nominal bandwidth — a spec cannot grant a segment phantom lanes the
+        physical corridor does not have.
+        """
+        kind, r, c = key
+        if key in self.defects.disabled_set():
+            return 0
+        nominal = self.h_bandwidths[r] if kind == "h" else self.v_bandwidths[c]
+        override = self.defects.override_for(key)
+        if override is not None:
+            return min(override, nominal)
+        return nominal
+
+    def corridor_segments(self) -> list[tuple[SegmentKey, int]]:
+        """Every corridor segment with its effective capacity (including 0)."""
+        return [
+            (key, self.segment_capacity(key))
+            for key in (
+                [("h", r, c) for r in range(self.tile_rows + 1) for c in range(self.tile_cols)]
+                + [("v", r, c) for r in range(self.tile_rows) for c in range(self.tile_cols + 1)]
+            )
+        ]
 
     # ------------------------------------------------------ bandwidth adjusting
     def lane_budget_per_axis(self) -> tuple[int, int]:
@@ -231,12 +300,16 @@ class Chip:
             h_bandwidths=tuple([bandwidth] * (self.tile_rows + 1)),
             v_bandwidths=tuple([bandwidth] * (self.tile_cols + 1)),
             side=max(side, self.side),
+            defects=self.defects,
         )
 
     def describe(self) -> str:
         """One-line human-readable description used by reports."""
-        return (
+        text = (
             f"{self.model.value} chip L{self.side}x{self.side} (d={self.code_distance}), "
             f"{self.tile_rows}x{self.tile_cols} tiles, bandwidth={self.bandwidth}, "
             f"capacity={self.communication_capacity}"
         )
+        if not self.defects.is_empty:
+            text += f", defects: {self.defects.describe()}"
+        return text

@@ -21,6 +21,14 @@ iff, for every edge, the number of paths using the edge does not exceed the
 edge capacity.  With all bandwidths equal to one this reduces to the
 edge-disjointness constraint of prior work; larger bandwidths model the
 paper's software-defined channels.
+
+Defects
+-------
+The graph is built from the chip's *effective* capacities: dead tiles get no
+node (and no access edges), disabled corridor segments are omitted, and
+per-segment bandwidth overrides replace the corridor's nominal capacity.
+Both routing engines and the validator share this graph, so a defect declared
+on the chip is honored everywhere without further plumbing.
 """
 
 from __future__ import annotations
@@ -28,6 +36,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.chip.chip import Chip, TileSlot
+from repro.chip.defects import segment_endpoints
 from repro.errors import ChipError, RoutingError
 
 #: Node type alias: ("j", row, col) for junctions, ("t", row, col) for tiles.
@@ -69,27 +78,34 @@ class RoutingGraph:
         self._chip = chip
         self._adjacency: dict[Node, list[Node]] = {}
         self._capacity: dict[EdgeKey, int] = {}
+        self._junction_capacity: dict[Node, int] = {}
         self._build()
 
     # ----------------------------------------------------------- construction
     def _build(self) -> None:
         chip = self._chip
+        dead = chip.defects.dead_set()
         for r in range(chip.tile_rows + 1):
             for c in range(chip.tile_cols + 1):
                 self._adjacency.setdefault(junction(r, c), [])
-        # Horizontal corridor segments.
-        for r in range(chip.tile_rows + 1):
-            capacity = chip.h_bandwidths[r]
-            for c in range(chip.tile_cols):
-                self._add_edge(junction(r, c), junction(r, c + 1), capacity)
-        # Vertical corridor segments.
-        for c in range(chip.tile_cols + 1):
-            capacity = chip.v_bandwidths[c]
-            for r in range(chip.tile_rows):
-                self._add_edge(junction(r, c), junction(r + 1, c), capacity)
-        # Tile access edges.
+                self._junction_capacity[junction(r, c)] = 0
+        # Corridor segments, at their defect-adjusted effective capacities.
+        # Disabled segments (capacity 0) are omitted entirely; a junction's
+        # through-capacity is the best lane count among its enabled segments,
+        # which reduces to max(bh[row], bv[col]) on a pristine chip.
+        for key, capacity in chip.corridor_segments():
+            if capacity < 1:
+                continue
+            (_, ra, ca), (_, rb, cb) = segment_endpoints(key)
+            a, b = junction(ra, ca), junction(rb, cb)
+            self._add_edge(a, b, capacity)
+            for node in (a, b):
+                self._junction_capacity[node] = max(self._junction_capacity[node], capacity)
+        # Tile access edges (dead tiles get no node and no edges).
         for i in range(chip.tile_rows):
             for j in range(chip.tile_cols):
+                if (i, j) in dead:
+                    continue
                 tile = tile_node(i, j)
                 self._adjacency.setdefault(tile, [])
                 for corner in (junction(i, j), junction(i, j + 1), junction(i + 1, j), junction(i + 1, j + 1)):
@@ -118,13 +134,13 @@ class RoutingGraph:
         non-intersecting, i.e. vertex-disjoint at unit bandwidth.  A junction
         where a horizontal corridor of bandwidth ``bh`` crosses a vertical
         corridor of bandwidth ``bv`` provides ``max(bh, bv)`` disjoint lanes
-        through the crossing.  Tile nodes are only path endpoints, so their
-        capacity is effectively unbounded.
+        through the crossing; with defects, only the *enabled* incident
+        segments (at their effective capacities) count.  Tile nodes are only
+        path endpoints, so their capacity is effectively unbounded.
         """
         if self.is_tile(node):
             return 1 << 30
-        _, row, col = node
-        return max(self._chip.h_bandwidths[row], self._chip.v_bandwidths[col])
+        return self._junction_capacity[node]
 
     @property
     def nodes(self) -> tuple[Node, ...]:
@@ -159,11 +175,13 @@ class RoutingGraph:
         return node[0] == "t"
 
     def tile_nodes(self) -> tuple[Node, ...]:
-        """All tile nodes in row-major order."""
+        """All alive tile nodes in row-major order (dead tiles are not nodes)."""
+        dead = self._chip.defects.dead_set()
         return tuple(
             tile_node(i, j)
             for i in range(self._chip.tile_rows)
             for j in range(self._chip.tile_cols)
+            if (i, j) not in dead
         )
 
     def corridor_of(self, a: Node, b: Node) -> tuple[str, int] | None:

@@ -1,0 +1,112 @@
+"""JSON chip-spec files: persist a :class:`Chip` including its defects.
+
+A chip spec is a small JSON document describing a concrete device — model,
+code distance, tile array, corridor bandwidths and defect list — so that a
+defective chip measured once (or synthesised for an experiment) can be
+compiled against repeatedly, from the CLI (``repro compile --chip-spec``) or
+programmatically.  Format::
+
+    {
+      "format": "repro-chip-spec",
+      "version": 1,
+      "model": "double_defect",
+      "code_distance": 3,
+      "tile_rows": 4,
+      "tile_cols": 4,
+      "h_bandwidths": [1, 1, 1, 1, 1],
+      "v_bandwidths": [1, 1, 1, 1, 1],
+      "side": 60,
+      "defects": {
+        "dead_tiles": [[1, 2]],
+        "disabled_segments": [["h", 0, 1]],
+        "bandwidth_overrides": [[["v", 2, 3], 1]]
+      }
+    }
+
+The ``defects`` block is optional; omitted, the chip is pristine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.chip.chip import Chip
+from repro.chip.defects import DefectSpec
+from repro.chip.geometry import SurfaceCodeModel
+from repro.errors import ChipError
+
+#: Spec-file format marker and version.
+CHIP_SPEC_FORMAT = "repro-chip-spec"
+CHIP_SPEC_VERSION = 1
+
+
+def chip_to_dict(chip: Chip) -> dict:
+    """JSON-able dict describing ``chip`` (inverse of :func:`chip_from_dict`)."""
+    payload = {
+        "format": CHIP_SPEC_FORMAT,
+        "version": CHIP_SPEC_VERSION,
+        "model": chip.model.value,
+        "code_distance": chip.code_distance,
+        "tile_rows": chip.tile_rows,
+        "tile_cols": chip.tile_cols,
+        "h_bandwidths": list(chip.h_bandwidths),
+        "v_bandwidths": list(chip.v_bandwidths),
+        "side": chip.side,
+    }
+    if not chip.defects.is_empty:
+        payload["defects"] = chip.defects.to_dict()
+    return payload
+
+
+def chip_from_dict(payload: dict) -> Chip:
+    """Build a :class:`Chip` from a spec dict, with clear errors on bad input."""
+    if payload.get("format", CHIP_SPEC_FORMAT) != CHIP_SPEC_FORMAT:
+        raise ChipError(f"not a chip spec: format is {payload.get('format')!r}")
+    try:
+        version = int(payload.get("version", CHIP_SPEC_VERSION))
+        if version > CHIP_SPEC_VERSION:
+            raise ChipError(
+                f"chip spec version {version} is newer than supported ({CHIP_SPEC_VERSION})"
+            )
+        model = SurfaceCodeModel(payload["model"])
+        defects = payload.get("defects", {})
+        if not isinstance(defects, dict):
+            raise ChipError(f"chip spec 'defects' must be an object, got {type(defects).__name__}")
+        return Chip(
+            model=model,
+            code_distance=int(payload["code_distance"]),
+            tile_rows=int(payload["tile_rows"]),
+            tile_cols=int(payload["tile_cols"]),
+            h_bandwidths=tuple(int(b) for b in payload["h_bandwidths"]),
+            v_bandwidths=tuple(int(b) for b in payload["v_bandwidths"]),
+            side=int(payload["side"]),
+            defects=DefectSpec.from_dict(defects),
+        )
+    except KeyError as exc:
+        raise ChipError(f"chip spec is missing the {exc.args[0]!r} field") from exc
+    except (TypeError, ValueError, AttributeError) as exc:
+        # Wrong JSON shapes (scalar where a list belongs, malformed defect
+        # entries, non-numeric fields) all degrade to one clear error.
+        raise ChipError(f"malformed chip spec: {exc}") from exc
+
+
+def save_chip_spec(chip: Chip, path: Path | str) -> Path:
+    """Write ``chip`` as a JSON spec file; returns the path written."""
+    path = Path(path)
+    path.write_text(json.dumps(chip_to_dict(chip), indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def load_chip_spec(path: Path | str) -> Chip:
+    """Read a chip from a JSON spec file."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ChipError(f"cannot read chip spec {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ChipError(f"chip spec {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ChipError(f"chip spec {path} must contain a JSON object")
+    return chip_from_dict(payload)

@@ -12,6 +12,9 @@ Commands
     optionally with the placement, a cycle timeline and per-stage timings.
     ``--engine fast`` switches the Algorithm 1 hot path to the incremental /
     landmark-A* engine (identical schedules, faster compiles).
+    ``--chip-spec FILE`` compiles onto a chip loaded from a JSON spec
+    (including its defects); ``--defect-rate R`` degrades the target chip
+    with random, connectivity-preserving defects.
 ``table``
     Regenerate one of the paper's tables (1-5) on the standard suites,
     optionally fanning the per-cell compilations across worker processes
@@ -113,19 +116,40 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.chip import load_chip_spec
+
     circuit = _load_circuit(args.circuit)
-    model = _MODELS[args.model]
+    model = _MODELS[args.model] if args.model is not None else SurfaceCodeModel.DOUBLE_DEFECT
+    # --chip-spec pins the target chip (including its declared defects);
+    # --defect-rate degrades whatever chip the pipeline targets — supplied or
+    # built by BuildChip for the method's own resource configuration.
+    chip = load_chip_spec(args.chip_spec) if args.chip_spec else None
+    if chip is not None and args.model is not None and chip.model is not model:
+        raise ReproError(
+            f"--model {args.model} conflicts with the chip spec's model "
+            f"{chip.model.value!r}; drop --model or use a matching spec"
+        )
     if args.method == "ecmas":
         result = run_pipeline_method(
             circuit,
             "ecmas",
-            model=model,
+            model=chip.model if chip is not None else model,
+            chip=chip,
             resources=args.resources,
             scheduler=args.scheduler,
             engine=args.engine,
+            defect_rate=args.defect_rate,
+            defect_seed=args.defect_seed,
         )
     else:
-        result = run_pipeline_method(circuit, args.method, engine=args.engine)
+        result = run_pipeline_method(
+            circuit,
+            args.method,
+            chip=chip,
+            engine=args.engine,
+            defect_rate=args.defect_rate,
+            defect_seed=args.defect_seed,
+        )
     encoded = result.encoded
     report = validate_encoded_circuit(circuit, encoded)
     print(f"method          : {encoded.method}")
@@ -284,7 +308,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     compile_cmd = sub.add_parser("compile", help="compile a circuit and summarise the schedule")
     compile_cmd.add_argument("circuit", help="QASM file path or built-in benchmark name")
-    compile_cmd.add_argument("--model", choices=sorted(_MODELS), default="dd")
+    compile_cmd.add_argument(
+        "--model",
+        choices=sorted(_MODELS),
+        default=None,
+        help="surface-code model (default dd; conflicts with a --chip-spec of the other model)",
+    )
     compile_cmd.add_argument("--resources", choices=["minimum", "4x", "sufficient"], default="minimum")
     compile_cmd.add_argument("--scheduler", choices=["auto", "limited", "resu"], default="auto")
     compile_cmd.add_argument(
@@ -293,6 +322,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="'ecmas' (default) or an evaluation method name such as autobraid / edpci_min",
     )
     _add_engine_flag(compile_cmd)
+    compile_cmd.add_argument(
+        "--chip-spec",
+        metavar="FILE",
+        help="compile onto the chip described by this JSON spec file "
+        "(model, tile array, bandwidths and defects; see README)",
+    )
+    compile_cmd.add_argument(
+        "--defect-rate",
+        type=float,
+        default=0.0,
+        metavar="R",
+        help="degrade the target chip with random defects: kill a fraction R of "
+        "tile slots and degrade/disable a fraction R of corridor segments "
+        "(connectivity-preserving; composes with --chip-spec)",
+    )
+    compile_cmd.add_argument(
+        "--defect-seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="random seed for --defect-rate (default 0)",
+    )
     compile_cmd.add_argument("--stages", action="store_true", help="print per-stage pipeline timings")
     compile_cmd.add_argument("--show-placement", action="store_true", help="render the tile placement")
     compile_cmd.add_argument("--timeline", type=int, metavar="N", help="print the first N cycles")

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 
 from repro.chip.chip import Chip
+from repro.chip.defects import DefectSpec
 from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
 from repro.core.cut_decisions import STRATEGIES as _CUT_STRATEGIES
@@ -163,6 +164,7 @@ def compile_circuit(
     code_distance: int = DEFAULT_CODE_DISTANCE,
     options: EcmasOptions | None = None,
     engine: str = "reference",
+    defects: DefectSpec | None = None,
 ) -> EncodedCircuit:
     """Compile ``circuit`` into a surface-code encoded circuit with Ecmas.
 
@@ -186,6 +188,9 @@ def compile_circuit(
     engine:
         Algorithm 1 hot path: ``"reference"`` or ``"fast"`` (identical
         schedules, the fast engine is wall-clock faster).
+    defects:
+        Optional :class:`~repro.chip.defects.DefectSpec` applied to the
+        target chip (dead tiles, disabled / degraded corridor segments).
     """
     from repro.pipeline.registry import run_pipeline_method
 
@@ -199,4 +204,5 @@ def compile_circuit(
         code_distance=code_distance,
         options=options,
         engine=engine,
+        defects=defects,
     ).encoded

@@ -23,9 +23,10 @@ from repro.chip.routing_graph import RoutingGraph, tile_node_for
 from repro.circuits.circuit import Circuit
 from repro.circuits.comm_graph import CommunicationGraph
 from repro.core.cut_types import CutAssignment
-from repro.errors import MappingError
+from repro.errors import ChipError, MappingError
 from repro.partition.placement import (
     Placement,
+    alive_in_window,
     best_placement,
     communication_cost,
     random_placement,
@@ -57,22 +58,37 @@ def determine_shape(num_qubits: int, chip: Chip) -> tuple[int, int]:
     Among shapes ``r × c`` with ``r*c >= num_qubits`` that fit inside the
     chip's tile array, the one minimising the perimeter ``2(r+c)`` is chosen;
     ties prefer the squarer shape (paper Fig. 10a picks 3×3 over 2×4).
+
+    On a defective chip a shape only qualifies when its window (anchored at
+    the tile-array origin) still holds ``num_qubits`` *alive* slots; when no
+    compact shape survives the defects, the full tile array is used.  A chip
+    without enough alive slots at all raises :class:`ChipError`.
     """
     if num_qubits > chip.num_tile_slots:
         raise MappingError(
             f"chip has {chip.num_tile_slots} tile slots but the circuit needs {num_qubits}"
         )
+    if num_qubits > chip.num_alive_tile_slots:
+        raise ChipError(
+            f"chip has {chip.num_alive_tile_slots} alive tile slots "
+            f"({len(chip.defects.dead_tiles)} dead) but the circuit needs {num_qubits}"
+        )
+    dead = chip.defects.dead_set()
     best: tuple[int, int] | None = None
     best_key: tuple[int, int, int] | None = None
     for rows in range(1, chip.tile_rows + 1):
         cols = -(-num_qubits // rows)  # ceil division
+        while cols <= chip.tile_cols and alive_in_window(0, rows, 0, cols, dead) < num_qubits:
+            cols += 1  # widen the window until the dead tiles are compensated
         if cols > chip.tile_cols:
             continue
         key = (rows + cols, abs(rows - cols), rows * cols)
         if best_key is None or key < best_key:
             best, best_key = (rows, cols), key
     if best is None:
-        raise MappingError("no tile-array shape fits the chip")  # pragma: no cover
+        # Dead tiles ruled out every compact window; fall back to the full
+        # array, which the alive-slot check above guarantees is sufficient.
+        return (chip.tile_rows, chip.tile_cols)
     return best
 
 
@@ -82,24 +98,26 @@ def establish_placement(
     strategy: str = "ecmas",
     attempts: int = 4,
     seed: int = 0,
+    dead: frozenset[tuple[int, int]] = frozenset(),
 ) -> Placement:
     """Map qubits to tile slots within ``shape`` using the requested strategy.
 
     Strategies: ``"ecmas"`` (multi-attempt recursive bisection, the default),
     ``"metis"`` (single-attempt recursive bisection, the Table II "Metis"
     column), ``"trivial"`` (EDPCI snake), ``"spectral"``, ``"random"``.
+    ``dead`` lists tile slots no strategy may use.
     """
     rows, cols = shape
     if strategy == "ecmas":
-        return best_placement(graph, rows, cols, attempts=attempts, seed=seed)
+        return best_placement(graph, rows, cols, attempts=attempts, seed=seed, dead=dead)
     if strategy == "metis":
-        return best_placement(graph, rows, cols, attempts=1, seed=seed)
+        return best_placement(graph, rows, cols, attempts=1, seed=seed, dead=dead)
     if strategy == "trivial":
-        return trivial_snake_placement(graph.num_qubits, rows, cols)
+        return trivial_snake_placement(graph.num_qubits, rows, cols, dead=dead)
     if strategy == "spectral":
-        return spectral_placement(graph, rows, cols)
+        return spectral_placement(graph, rows, cols, dead=dead)
     if strategy == "random":
-        return random_placement(graph.num_qubits, rows, cols, seed=seed)
+        return random_placement(graph.num_qubits, rows, cols, seed=seed, dead=dead)
     raise MappingError(f"unknown placement strategy {strategy!r}")
 
 
@@ -120,8 +138,8 @@ def corridor_load(
     empty = CapacityUsage()
     for a, b, weight in graph.edges():
         path = find_path(routing_graph, empty, tile_node_for(placement.slot_of(a)), tile_node_for(placement.slot_of(b)))
-        if path is None:  # pragma: no cover - the corridor grid is connected
-            continue
+        if path is None:
+            continue  # disconnected pair (defective chips); no load to record
         for edge_a, edge_b in zip(path.nodes, path.nodes[1:]):
             corridor = routing_graph.corridor_of(edge_a, edge_b)
             if corridor is None:
@@ -187,7 +205,14 @@ def build_initial_mapping(
     """Run the full pre-processing pipeline for ``circuit`` on ``chip``."""
     graph = circuit.communication_graph()
     shape = determine_shape(circuit.num_qubits, chip)
-    placement = establish_placement(graph, shape, strategy=placement_strategy, attempts=attempts, seed=seed)
+    placement = establish_placement(
+        graph,
+        shape,
+        strategy=placement_strategy,
+        attempts=attempts,
+        seed=seed,
+        dead=chip.defects.dead_set(),
+    )
     placement.validate(chip)
     adjusted_chip = adjust_bandwidth(chip, placement, graph) if adjust else chip
     cost = communication_cost(graph, placement)

@@ -19,7 +19,6 @@ import heapq
 from dataclasses import dataclass
 
 from repro.chip.chip import Chip
-from repro.chip.geometry import communication_capacity
 from repro.circuits.circuit import Circuit
 from repro.circuits.dag import GateDAG
 from repro.errors import SchedulingError
@@ -154,8 +153,12 @@ def asap_parallelism(circuit: Circuit) -> int:
 
 
 def chip_communication_capacity(chip: Chip) -> int:
-    """Chip communication capacity ``⌊(b-1)/2⌋ + 3`` (Theorem 2)."""
-    return communication_capacity(chip.bandwidth)
+    """Chip communication capacity ``⌊(b-1)/2⌋ + 3`` (Theorem 2).
+
+    Delegates to :attr:`Chip.communication_capacity`, which reports 0 for a
+    defective chip whose corridor grid is fully disabled.
+    """
+    return chip.communication_capacity
 
 
 def has_sufficient_resources(circuit: Circuit, chip: Chip) -> bool:

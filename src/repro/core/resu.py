@@ -70,18 +70,31 @@ def split_into_bipartite_groups(
 
     By Lemma 1 every group contains at least two layers (except possibly the
     final one), which underpins the 5/2-approximation bound.
+
+    A qubit with no gates in a group keeps the cut type it had in the
+    previous group (defaulting to X in the first).  Assigning such qubits an
+    arbitrary colour would list them in the inter-group remap diff and emit
+    spurious three-cycle remap blocks for tiles that never communicate.
     """
     groups: list[BipartiteGroup] = []
     current_layers: list[int] = []
     adjacency: dict[int, set[int]] = {}
     colors: dict[int, int] = {}
+    previous_assignment: CutAssignment | None = None
 
     def close_group() -> None:
+        nonlocal previous_assignment
         if not current_layers:
             return
-        assignment = {
-            q: (CutType.X if colors.get(q, 0) == 0 else CutType.Z) for q in range(num_qubits)
-        }
+        assignment: CutAssignment = {}
+        for q in range(num_qubits):
+            if q in colors:
+                assignment[q] = CutType.X if colors[q] == 0 else CutType.Z
+            elif previous_assignment is not None:
+                assignment[q] = previous_assignment[q]  # untouched: carry forward
+            else:
+                assignment[q] = CutType.X
+        previous_assignment = assignment
         groups.append(BipartiteGroup(tuple(current_layers), assignment))
 
     for layer_index, layer in enumerate(scheme.layers):
@@ -118,6 +131,14 @@ class _LayerRouter:
         self._graph = RoutingGraph(mapping.chip)
         self._congestion_weight = congestion_weight
 
+    def _describe_gates(self, nodes: list[int]) -> str:
+        """Human-readable gate list for diagnostics: ``CX(q0, q3) [node 7], …``."""
+        parts = []
+        for node in nodes:
+            gate = self._dag.gate(node)
+            parts.append(f"CX(q{gate.control}, q{gate.target}) [node {node}]")
+        return ", ".join(parts)
+
     def route_layer(
         self, nodes: tuple[int, ...], start_cycle: int, kind: OperationKind
     ) -> tuple[list[ScheduledOperation], int]:
@@ -126,14 +147,15 @@ class _LayerRouter:
         Returns the operations and the number of cycles consumed (1 when the
         whole layer fits, more when the greedy router needs spill cycles —
         which Theorem 2 says should not happen on a sufficient chip, but the
-        router is heuristic so the fallback keeps the schedule valid).
+        router is heuristic so the fallback keeps the schedule valid).  A
+        cycle that routes nothing means the remaining gates can never be
+        routed (each cycle starts from empty usage), so the no-progress error
+        names the unroutable gates.
         """
         remaining = list(nodes)
         operations: list[ScheduledOperation] = []
         cycles_used = 0
         while remaining:
-            if cycles_used > len(nodes) + 1:
-                raise SchedulingError("layer routing failed to make progress")  # pragma: no cover
             usage = CapacityUsage()
             still_waiting: list[int] = []
             for node in remaining:
@@ -157,7 +179,9 @@ class _LayerRouter:
                 )
             if len(still_waiting) == len(remaining):
                 raise SchedulingError(
-                    f"no gate of layer {nodes} could be routed on chip {self._mapping.chip.describe()}"
+                    f"layer routing made no progress at cycle {start_cycle + cycles_used}: "
+                    f"unroutable gates {self._describe_gates(still_waiting)} "
+                    f"on chip {self._mapping.chip.describe()}"
                 )
             remaining = still_waiting
             cycles_used += 1
@@ -177,7 +201,11 @@ def schedule_resu_double_defect(
         method=method,
     )
     if len(dag) == 0:
-        result.initial_cut_types = dict(mapping.cut_types or {})
+        # Consistent with the non-empty path: a full assignment over every
+        # qubit (the mapping's initialisation, or all-X when none was given).
+        result.initial_cut_types = dict(
+            mapping.cut_types or {q: CutType.X for q in range(circuit.num_qubits)}
+        )
         return result
 
     scheme = para_finding(dag)
@@ -229,6 +257,8 @@ def schedule_resu_lattice_surgery(
         method=method,
     )
     if len(dag) == 0:
+        # Lattice surgery has no cut types: ``initial_cut_types`` is ``None``
+        # on the empty path exactly as on the non-empty one.
         return result
     scheme = para_finding(dag)
     router = _LayerRouter(dag, mapping)

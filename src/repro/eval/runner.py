@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.chip.chip import Chip
+from repro.chip.defects import DefectSpec
 from repro.circuits.circuit import Circuit
 from repro.core.ecmas import EcmasOptions
 from repro.core.schedule import EncodedCircuit
@@ -83,6 +84,7 @@ def run_method(
     validate: bool = False,
     options: EcmasOptions | None = None,
     engine: str = "reference",
+    defects: DefectSpec | None = None,
 ) -> ExperimentRecord:
     """Compile and measure one data point; optionally validate the schedule."""
     result = run_pipeline_method(
@@ -93,6 +95,7 @@ def run_method(
         options=options,
         validate=validate,
         engine=engine,
+        defects=defects,
     )
     encoded = result.encoded
     extra = {"stages": result.timings_dict(), "engine": engine}

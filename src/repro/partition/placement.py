@@ -24,8 +24,43 @@ import numpy as np
 
 from repro.chip.chip import Chip, TileSlot
 from repro.circuits.comm_graph import CommunicationGraph
-from repro.errors import MappingError
+from repro.errors import ChipError, MappingError
 from repro.partition.kl import WeightMap, kernighan_lin_bisection
+
+#: Dead tile slots as ``(row, col)`` pairs; the empty set means a pristine chip.
+NO_DEAD_TILES: frozenset[tuple[int, int]] = frozenset()
+
+
+def _alive_slots(
+    rows: int, cols: int, dead: frozenset[tuple[int, int]], row_lo: int = 0, col_lo: int = 0
+) -> list[TileSlot]:
+    """Alive slots of the ``[row_lo, rows) × [col_lo, cols)`` window, row-major."""
+    return [
+        TileSlot(r, c)
+        for r in range(row_lo, rows)
+        for c in range(col_lo, cols)
+        if (r, c) not in dead
+    ]
+
+
+def _check_fits(
+    num_qubits: int, rows: int, cols: int, dead: frozenset[tuple[int, int]]
+) -> list[TileSlot]:
+    """The alive slots of the window, raising when the circuit cannot fit.
+
+    A window too small even when pristine is a :class:`MappingError`
+    (caller's geometry is wrong); a window made too small by dead tiles is a
+    :class:`ChipError` (the chip's defects are the problem).
+    """
+    if rows * cols < num_qubits:
+        raise MappingError(f"tile array {rows}x{cols} too small for {num_qubits} qubits")
+    alive = _alive_slots(rows, cols, dead)
+    if len(alive) < num_qubits:
+        raise ChipError(
+            f"tile array {rows}x{cols} has only {len(alive)} alive slots "
+            f"({rows * cols - len(alive)} dead) but the circuit needs {num_qubits} qubits"
+        )
+    return alive
 
 
 @dataclass(frozen=True)
@@ -57,6 +92,8 @@ class Placement:
         for slot in slots:
             if not chip.contains_slot(slot):
                 raise MappingError(f"slot {slot} outside the {chip.tile_rows}x{chip.tile_cols} tile array")
+            if chip.is_dead_slot(slot):
+                raise MappingError(f"slot {slot} is a dead tile on this chip")
 
 
 def communication_cost(graph: CommunicationGraph, placement: Placement) -> float:
@@ -77,17 +114,28 @@ def recursive_bisection_placement(
     rows: int,
     cols: int,
     seed: int | None = None,
+    dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
 ) -> Placement:
-    """Place all qubits of ``graph`` into an ``rows × cols`` slot rectangle."""
-    if rows * cols < graph.num_qubits:
-        raise MappingError(
-            f"tile array {rows}x{cols} too small for {graph.num_qubits} qubits"
-        )
+    """Place all qubits of ``graph`` into an ``rows × cols`` slot rectangle.
+
+    Slots listed in ``dead`` are never assigned; region capacities count
+    alive slots only, so defective chips bisect correctly.
+    """
+    _check_fits(graph.num_qubits, rows, cols, dead)
     weights = _weights_from_graph(graph)
     qubits = list(range(graph.num_qubits))
     assignment: dict[int, TileSlot] = {}
-    _place_region(qubits, weights, 0, rows, 0, cols, assignment, random.Random(seed))
+    _place_region(qubits, weights, 0, rows, 0, cols, assignment, random.Random(seed), dead)
     return Placement(assignment)
+
+
+def alive_in_window(
+    row_lo: int, row_hi: int, col_lo: int, col_hi: int, dead: frozenset[tuple[int, int]]
+) -> int:
+    total = (row_hi - row_lo) * (col_hi - col_lo)
+    if not dead:
+        return total
+    return total - sum(1 for r, c in dead if row_lo <= r < row_hi and col_lo <= c < col_hi)
 
 
 def _place_region(
@@ -99,43 +147,55 @@ def _place_region(
     col_hi: int,
     assignment: dict[int, TileSlot],
     rng: random.Random,
+    dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
 ) -> None:
     rows = row_hi - row_lo
     cols = col_hi - col_lo
     if not qubits:
         return
     if len(qubits) == 1:
-        assignment[qubits[0]] = TileSlot(row_lo, col_lo)
-        return
+        for r in range(row_lo, row_hi):
+            for c in range(col_lo, col_hi):
+                if (r, c) not in dead:
+                    assignment[qubits[0]] = TileSlot(r, c)
+                    return
+        raise MappingError("no alive slot in a placement region")  # pragma: no cover
     if rows * cols == 1:
         raise MappingError("more qubits than slots in a placement region")  # pragma: no cover
     # Split the longer dimension.
     if cols >= rows:
         split = (col_lo + col_hi) // 2
-        slots_first = rows * (split - col_lo)
         regions = ((row_lo, row_hi, col_lo, split), (row_lo, row_hi, split, col_hi))
     else:
         split = (row_lo + row_hi) // 2
-        slots_first = (split - row_lo) * cols
         regions = ((row_lo, split, col_lo, col_hi), (split, row_hi, col_lo, col_hi))
+    slots_first = alive_in_window(*regions[0], dead)
     size_first = min(len(qubits), slots_first)
     size_second = len(qubits) - size_first
     if size_first == 0 or size_second == 0:
         # Everything fits in one half; recurse into the half with enough slots.
         target = regions[0] if size_first > 0 else regions[1]
-        _place_region(qubits, weights, *target, assignment, rng)
+        _place_region(qubits, weights, *target, assignment, rng, dead)
         return
     side_a, side_b = kernighan_lin_bisection(
         qubits, weights, seed=rng.randrange(1 << 30), size_a=size_first
     )
-    _place_region(sorted(side_a), weights, *regions[0], assignment, rng)
-    _place_region(sorted(side_b), weights, *regions[1], assignment, rng)
+    _place_region(sorted(side_a), weights, *regions[0], assignment, rng, dead)
+    _place_region(sorted(side_b), weights, *regions[1], assignment, rng, dead)
 
 
-def trivial_snake_placement(num_qubits: int, rows: int, cols: int) -> Placement:
-    """The EDPCI "trivial" mapping: fill rows alternately left-to-right and right-to-left."""
-    if rows * cols < num_qubits:
-        raise MappingError(f"tile array {rows}x{cols} too small for {num_qubits} qubits")
+def trivial_snake_placement(
+    num_qubits: int,
+    rows: int,
+    cols: int,
+    dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
+) -> Placement:
+    """The EDPCI "trivial" mapping: fill rows alternately left-to-right and right-to-left.
+
+    Dead slots are skipped in snake order, so qubits stay in boustrophedon
+    sequence over the alive slots.
+    """
+    _check_fits(num_qubits, rows, cols, dead)
     assignment: dict[int, TileSlot] = {}
     qubit = 0
     for row in range(rows):
@@ -143,30 +203,41 @@ def trivial_snake_placement(num_qubits: int, rows: int, cols: int) -> Placement:
         for col in columns:
             if qubit >= num_qubits:
                 return Placement(assignment)
+            if (row, col) in dead:
+                continue
             assignment[qubit] = TileSlot(row, col)
             qubit += 1
     return Placement(assignment)
 
 
-def random_placement(num_qubits: int, rows: int, cols: int, seed: int | None = None) -> Placement:
-    """Uniformly random assignment of qubits to distinct slots."""
-    if rows * cols < num_qubits:
-        raise MappingError(f"tile array {rows}x{cols} too small for {num_qubits} qubits")
+def random_placement(
+    num_qubits: int,
+    rows: int,
+    cols: int,
+    seed: int | None = None,
+    dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
+) -> Placement:
+    """Uniformly random assignment of qubits to distinct alive slots."""
+    slots = _check_fits(num_qubits, rows, cols, dead)
     rng = random.Random(seed)
-    slots = [TileSlot(r, c) for r in range(rows) for c in range(cols)]
+    slots = list(slots)
     rng.shuffle(slots)
     return Placement({qubit: slots[qubit] for qubit in range(num_qubits)})
 
 
-def spectral_placement(graph: CommunicationGraph, rows: int, cols: int) -> Placement:
+def spectral_placement(
+    graph: CommunicationGraph,
+    rows: int,
+    cols: int,
+    dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
+) -> Placement:
     """Spectral placement: order qubits by the Fiedler vector, fill the grid snake-wise.
 
     A lightweight alternative to recursive bisection used in ablations; it
     tends to keep strongly connected qubits in adjacent grid positions.
     """
     n = graph.num_qubits
-    if rows * cols < n:
-        raise MappingError(f"tile array {rows}x{cols} too small for {n} qubits")
+    _check_fits(n, rows, cols, dead)
     laplacian = np.zeros((n, n), dtype=float)
     for a, b, w in graph.edges():
         laplacian[a, b] -= w
@@ -178,7 +249,7 @@ def spectral_placement(graph: CommunicationGraph, rows: int, cols: int) -> Place
     order = np.argsort(eigenvalues)
     fiedler = eigenvectors[:, order[1]] if n > 1 else np.zeros(n)
     ranking = sorted(range(n), key=lambda q: (fiedler[q], q))
-    snake = trivial_snake_placement(n, rows, cols)
+    snake = trivial_snake_placement(n, rows, cols, dead=dead)
     return Placement({qubit: snake.slot_of(position) for position, qubit in enumerate(ranking)})
 
 
@@ -188,6 +259,7 @@ def best_placement(
     cols: int,
     attempts: int = 4,
     seed: int = 0,
+    dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
 ) -> Placement:
     """Run several seeded recursive bisections and keep the cheapest placement.
 
@@ -198,7 +270,7 @@ def best_placement(
     best: Placement | None = None
     best_cost = float("inf")
     for attempt in range(max(1, attempts)):
-        placement = recursive_bisection_placement(graph, rows, cols, seed=seed + attempt)
+        placement = recursive_bisection_placement(graph, rows, cols, seed=seed + attempt, dead=dead)
         cost = communication_cost(graph, placement)
         if cost < best_cost:
             best, best_cost = placement, cost

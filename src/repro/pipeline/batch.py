@@ -30,12 +30,15 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.chip.chip import Chip
+from repro.chip.defects import DefectSpec
 from repro.circuits.circuit import Circuit
 from repro.core.ecmas import EcmasOptions
 
 #: Bump when a change invalidates previously cached results (scheduler or
 #: record format changes).  2: canonical routing tie-break + engine field.
-CACHE_FORMAT_VERSION = 2
+#: 3: defect-aware chips — the chip key carries the defect spec, jobs carry a
+#: ``defects`` field, and the ReSu cut-remap fix changed ReSu schedules.
+CACHE_FORMAT_VERSION = 3
 
 #: Default cache location, overridable via the ``REPRO_CACHE_DIR`` variable.
 DEFAULT_CACHE_DIR = Path(
@@ -59,6 +62,10 @@ class BatchJob:
     #: even though schedules are engine-independent, because the cached
     #: record carries engine-specific wall-clock times and counters.
     engine: str = "reference"
+    #: Defect spec applied to the target chip (see BuildChipPass).  Part of
+    #: the fingerprint: the same circuit on a degraded chip is a different
+    #: experiment.
+    defects: DefectSpec | None = None
 
     def fingerprint(self) -> str:
         """Content hash identifying this job's result."""
@@ -74,6 +81,7 @@ class BatchJob:
             "options": asdict(self.options) if self.options is not None else None,
             "validate": self.validate,
             "engine": self.engine,
+            "defects": self.defects.key() if self.defects is not None else None,
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
@@ -97,6 +105,7 @@ def _chip_key(chip: Chip | None) -> list | None:
         list(chip.h_bandwidths),
         list(chip.v_bandwidths),
         chip.side,
+        chip.defects.key(),
     ]
 
 
@@ -177,6 +186,7 @@ def execute_job(job: BatchJob):
         validate=job.validate,
         options=job.options,
         engine=job.engine,
+        defects=job.defects,
     )
 
 

@@ -22,6 +22,7 @@ from collections.abc import Callable, Iterable
 from dataclasses import dataclass, field
 
 from repro.chip.chip import Chip
+from repro.chip.defects import DefectSpec
 from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
 from repro.circuits.comm_graph import CommunicationGraph
@@ -58,6 +59,17 @@ class PassContext:
     #: schedules; the fast engine uses incremental ready-set maintenance and
     #: landmark A* routing).  Ecmas-ReSu (Algorithm 2) ignores this knob.
     engine: str = "reference"
+    #: Defects applied to the target chip by BuildChip (whether the chip was
+    #: supplied by the caller or built for ``resources``).  ``None`` keeps
+    #: whatever defects the supplied chip already carries.
+    defects: DefectSpec | None = None
+    #: When positive, BuildChip additionally degrades the target chip with
+    #: random, connectivity-preserving defects at this rate (seeded by
+    #: ``defect_seed``), on top of ``defects`` / the chip's own spec.  Living
+    #: here rather than in the CLI keeps the degraded chip exactly the one
+    #: the pipeline would compile pristine.
+    defect_rate: float = 0.0
+    defect_seed: int = 0
     validate: bool = False
 
     # -- artifacts (produced by passes) -----------------------------------

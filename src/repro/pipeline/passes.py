@@ -98,16 +98,28 @@ class BuildChipPass(Pass):
             ctx.model = self._model
             if ctx.chip is not None and ctx.chip.model is not self._model:
                 raise SchedulingError(self._error or f"chip model must be {self._model.name}")
-        if ctx.chip is not None:
-            return
-        parallelism = ctx.ensure_parallelism() if ctx.resources == "sufficient" else None
-        ctx.chip = default_chip(
-            ctx.circuit,
-            ctx.model,
-            resources=ctx.resources,
-            code_distance=ctx.code_distance,
-            parallelism=parallelism,
-        )
+        if ctx.chip is None:
+            parallelism = ctx.ensure_parallelism() if ctx.resources == "sufficient" else None
+            ctx.chip = default_chip(
+                ctx.circuit,
+                ctx.model,
+                resources=ctx.resources,
+                code_distance=ctx.code_distance,
+                parallelism=parallelism,
+            )
+        if ctx.defects is not None:
+            ctx.chip = ctx.chip.with_defects(ctx.defects)
+        if ctx.defect_rate:
+            from repro.chip.defects import random_defects
+
+            ctx.chip = ctx.chip.with_defects(
+                random_defects(
+                    ctx.chip,
+                    ctx.defect_rate,
+                    seed=ctx.defect_seed,
+                    min_alive_tiles=ctx.circuit.num_qubits,
+                )
+            )
 
 
 class InitCutTypesPass(Pass):
@@ -157,7 +169,12 @@ class InitialMappingPass(Pass):
         attempts = self._attempts if self._attempts is not None else ctx.options.placement_attempts
         ctx.shape = determine_shape(ctx.circuit.num_qubits, chip)
         ctx.placement = establish_placement(
-            graph, ctx.shape, strategy=strategy, attempts=attempts, seed=ctx.options.seed
+            graph,
+            ctx.shape,
+            strategy=strategy,
+            attempts=attempts,
+            seed=ctx.options.seed,
+            dead=chip.defects.dead_set(),
         )
         ctx.placement.validate(chip)
         ctx.mapping_cost = communication_cost(graph, ctx.placement)

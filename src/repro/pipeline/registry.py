@@ -29,6 +29,7 @@ from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 from repro.chip.chip import Chip
+from repro.chip.defects import DefectSpec
 from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.circuit import Circuit
 from repro.circuits.dag import GateDAG
@@ -272,6 +273,9 @@ def run_pipeline_method(
     options: EcmasOptions | None = None,
     validate: bool = False,
     engine: str = "reference",
+    defects: DefectSpec | None = None,
+    defect_rate: float = 0.0,
+    defect_seed: int = 0,
 ) -> PipelineResult:
     """Compile ``circuit`` with a named method and return the full result.
 
@@ -279,7 +283,10 @@ def run_pipeline_method(
     registered configuration; an explicit ``chip`` overrides ``resources``
     entirely (as in :func:`repro.compile_circuit`).  ``engine`` selects the
     Algorithm 1 hot path (``"reference"`` / ``"fast"``); both produce
-    identical schedules.
+    identical schedules.  ``defects`` applies a defect spec to the target
+    chip, whether supplied or built for the resource configuration;
+    ``defect_rate`` additionally degrades that chip with random,
+    connectivity-preserving defects (seeded by ``defect_seed``).
     """
     spec = resolve_method(method)
     ctx = PassContext(
@@ -291,6 +298,9 @@ def run_pipeline_method(
         resources=resources if resources is not None else spec.resources,
         scheduler=scheduler if scheduler is not None else spec.scheduler,
         engine=engine,
+        defects=defects,
+        defect_rate=defect_rate,
+        defect_seed=defect_seed,
         validate=validate,
     )
     result = Pipeline(spec.build_passes(), name=spec.name).run(ctx)

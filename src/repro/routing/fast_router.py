@@ -22,6 +22,12 @@ key — heap entries order by ``(cost + h, cost, node-sequence)`` — the fast
 search is exploration-order independent and returns bit-identical paths to
 the reference implementation.  ``tests/test_properties_routing.py`` and
 ``tests/test_differential_engines.py`` enforce this equivalence.
+
+Defective chips need no special handling here: the landmark tables, the
+static-path cache and the flattened adjacency are all derived from the
+:class:`RoutingGraph`, which already excludes dead tiles and disabled
+segments and carries per-segment capacity overrides.  Parity on defective
+chips is enforced by ``tests/test_defects.py``.
 """
 
 from __future__ import annotations

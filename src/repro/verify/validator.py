@@ -17,6 +17,8 @@ paper:
    assignment and the scheduled modifications / remaps.
 5. **Path sanity** — every routed path starts and ends at the tiles hosting
    the operands and only traverses corridor junctions in between.
+6. **Defect avoidance** — on a defective chip, no operation occupies a dead
+   tile and no path crosses a disabled corridor segment.
 
 Every scheduler and baseline in the repository funnels its output through
 this validator in the test suite, which is the main correctness argument of
@@ -28,6 +30,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.chip.defects import segment_endpoints
 from repro.chip.geometry import SurfaceCodeModel
 from repro.chip.routing_graph import RoutingGraph, tile_node_for
 from repro.circuits.circuit import Circuit
@@ -67,6 +70,7 @@ def validate_encoded_circuit(
     _check_dependencies(dag, encoded, error)
     _check_tile_exclusivity(encoded, error)
     _check_paths_and_capacity(encoded, error)
+    _check_defects(encoded, error)
     if encoded.model is SurfaceCodeModel.DOUBLE_DEFECT and strict_cut_types:
         _check_cut_types(encoded, error, report.warnings.append)
     return report
@@ -159,7 +163,10 @@ def _check_paths_and_capacity(encoded: EncodedCircuit, error) -> None:
                 error(f"path of gate node {op.gate_node} uses non-existent edge {a}-{b}")
         for cycle in range(op.start_cycle, op.end_cycle):
             for key in op.path.edges:
-                per_cycle_load[cycle][key] += op.lanes
+                # Non-existent edges (e.g. disabled segments) were flagged
+                # above; only existing edges take part in capacity accounting.
+                if graph.has_edge(*key):
+                    per_cycle_load[cycle][key] += op.lanes
             for node in op.path.nodes[1:-1]:
                 per_cycle_node_load[cycle][node] += op.lanes
     for cycle, loads in per_cycle_load.items():
@@ -178,6 +185,47 @@ def _check_paths_and_capacity(encoded: EncodedCircuit, error) -> None:
                     f"cycle {cycle}: junction {node} is crossed by {load} paths "
                     f"but provides only {capacity} lanes"
                 )
+
+
+def _check_defects(encoded: EncodedCircuit, error) -> None:
+    """Defect constraints: no operation on a dead tile or across a disabled segment.
+
+    The defect-aware routing graph already excludes dead tiles and disabled
+    segments (such paths are flagged as non-existent edges above); this check
+    names the defect explicitly so a violation reads as what it is.
+    """
+    chip = encoded.chip
+    if chip.defects.is_empty:
+        return
+    dead = chip.defects.dead_set()
+    disabled_edges = set()
+    for key in chip.defects.disabled_set():
+        a, b = segment_endpoints(key)
+        disabled_edges.add((a, b) if a <= b else (b, a))
+    placement = encoded.placement
+    for op in encoded.operations:
+        for qubit in op.qubits:
+            slot = placement.slot_of(qubit)
+            if (slot.row, slot.col) in dead:
+                error(
+                    f"{op.kind.value} at cycle {op.start_cycle} occupies dead tile "
+                    f"({slot.row}, {slot.col}) via qubit {qubit}"
+                )
+        if op.path is None:
+            continue
+        for a, b in zip(op.path.nodes, op.path.nodes[1:]):
+            key = (a, b) if a <= b else (b, a)
+            if key in disabled_edges:
+                error(
+                    f"path of {op.kind.value} at cycle {op.start_cycle} crosses "
+                    f"disabled corridor segment {a}-{b}"
+                )
+            for node in (a, b):
+                if node[0] == "t" and (node[1], node[2]) in dead:
+                    error(
+                        f"path of {op.kind.value} at cycle {op.start_cycle} touches "
+                        f"dead tile ({node[1]}, {node[2]})"
+                    )
 
 
 def _check_cut_types(encoded: EncodedCircuit, error, warn) -> None:

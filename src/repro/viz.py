@@ -27,6 +27,7 @@ _KIND_SYMBOL = {
 def render_placement(chip: Chip, placement: Placement) -> str:
     """Render the tile array with hosted qubits and corridor bandwidths."""
     slot_to_qubit = {slot: qubit for qubit, slot in placement.qubit_to_slot.items()}
+    dead = chip.defects.dead_set()
     cell_width = max(4, max((len(f"q{q}") for q in placement.qubit_to_slot), default=2) + 1)
     lines: list[str] = [f"chip: {chip.describe()}"]
     for row in range(chip.tile_rows):
@@ -35,7 +36,10 @@ def render_placement(chip: Chip, placement: Placement) -> str:
         cells = []
         for col in range(chip.tile_cols):
             qubit = slot_to_qubit.get(next(s for s in [chip.tile_slots()[row * chip.tile_cols + col]]), None)
-            label = f"q{qubit}" if qubit is not None else "."
+            if (row, col) in dead:
+                label = "X"
+            else:
+                label = f"q{qubit}" if qubit is not None else "."
             cells.append(label.center(cell_width))
         bandwidth = chip.v_bandwidths
         row_text = ""
@@ -45,7 +49,10 @@ def render_placement(chip: Chip, placement: Placement) -> str:
         row_text += f"|{bandwidth[-1]}|"
         lines.append(row_text)
     lines.append(_corridor_line(chip, chip.tile_rows, chip.tile_cols, cell_width))
-    lines.append("(numbers on the borders are corridor bandwidths; '.' = unused tile slot)")
+    lines.append(
+        "(numbers on the borders are corridor bandwidths; '.' = unused tile slot"
+        + ("; 'X' = dead tile)" if dead else ")")
+    )
     return "\n".join(lines) + "\n"
 
 

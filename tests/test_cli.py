@@ -43,6 +43,79 @@ def test_compile_with_placement_and_timeline(capsys):
     assert "occupancy" in out
 
 
+def test_compile_with_defect_rate(capsys):
+    assert main(["compile", "qft_n10", "--defect-rate", "0.15", "--defect-seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "defects:" in out
+    assert "schedule valid  : True" in out
+
+
+def test_compile_with_defect_rate_and_fast_engine_agree(capsys):
+    for engine in ("reference", "fast"):
+        assert main(
+            ["compile", "dnn_n8", "--defect-rate", "0.1", "--engine", engine]
+        ) == 0
+    out = capsys.readouterr().out
+    cycles = [line for line in out.splitlines() if line.startswith("cycles")]
+    assert len(cycles) == 2 and cycles[0] == cycles[1]
+
+
+def test_compile_with_chip_spec(tmp_path, capsys):
+    from repro.chip import Chip, DefectSpec, SurfaceCodeModel, save_chip_spec
+
+    chip = Chip.with_tile_array(SurfaceCodeModel.DOUBLE_DEFECT, 3, 4, 4, bandwidth=2)
+    chip = chip.with_defects(DefectSpec(dead_tiles=((0, 0),)))
+    path = save_chip_spec(chip, tmp_path / "chip.json")
+    assert main(["compile", "qft_n10", "--chip-spec", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 dead tiles" in out
+    assert "schedule valid  : True" in out
+
+
+def test_compile_chip_spec_defects_survive_defect_rate(tmp_path, capsys):
+    from repro.chip import Chip, DefectSpec, SurfaceCodeModel, save_chip_spec
+
+    chip = Chip.with_tile_array(SurfaceCodeModel.DOUBLE_DEFECT, 3, 4, 4, bandwidth=2)
+    chip = chip.with_defects(DefectSpec(dead_tiles=((0, 0), (3, 3))))
+    path = save_chip_spec(chip, tmp_path / "chip.json")
+    assert main(
+        ["compile", "qft_n10", "--chip-spec", str(path), "--defect-rate", "0.05"]
+    ) == 0
+    out = capsys.readouterr().out
+    # The spec file's two dead tiles must survive the extra random defects.
+    assert "2 dead tiles" in out
+
+
+def test_compile_defect_rate_keeps_method_resources(capsys):
+    from repro.circuits.generators import get_benchmark
+    from repro.core.ecmas import default_chip
+    from repro.chip import SurfaceCodeModel
+
+    circuit = get_benchmark("qft_n10").build()
+    sufficient = default_chip(circuit, SurfaceCodeModel.DOUBLE_DEFECT, resources="sufficient")
+    assert main(["compile", "qft_n10", "--method", "ecmas_dd_resu", "--defect-rate", "0.05"]) == 0
+    out = capsys.readouterr().out
+    # The degraded chip must still be the method's sufficient chip, not the
+    # CLI default "minimum" configuration.
+    assert f"L{sufficient.side}x{sufficient.side}" in out
+
+
+def test_compile_chip_spec_conflicting_model_errors(tmp_path, capsys):
+    from repro.chip import Chip, SurfaceCodeModel, save_chip_spec
+
+    chip = Chip.with_tile_array(SurfaceCodeModel.DOUBLE_DEFECT, 3, 4, 4, bandwidth=2)
+    path = save_chip_spec(chip, tmp_path / "chip.json")
+    assert main(["compile", "qft_n10", "--chip-spec", str(path), "--model", "ls"]) == 2
+    assert "conflicts" in capsys.readouterr().err
+    # An explicitly matching --model is fine.
+    assert main(["compile", "qft_n10", "--chip-spec", str(path), "--model", "dd"]) == 0
+
+
+def test_compile_with_missing_chip_spec(capsys):
+    assert main(["compile", "qft_n10", "--chip-spec", "/nonexistent.json"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
 def test_table_command(capsys):
     assert main(["table", "4"]) == 0
     out = capsys.readouterr().out

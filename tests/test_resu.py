@@ -1,5 +1,7 @@
 """Tests for Ecmas-ReSu (Algorithm 2)."""
 
+import pytest
+
 from repro.chip import Chip, SurfaceCodeModel
 from repro.circuits import Circuit
 from repro.circuits.generators import standard
@@ -89,6 +91,174 @@ class TestResuDoubleDefect:
         mapping = build_initial_mapping(circuit, chip, None)
         encoded = schedule_resu_double_defect(circuit, mapping)
         assert encoded.num_cycles == 0
+
+
+class TestCutRemapRegression:
+    """The cut-remap inflation fix: untouched qubits never get remapped."""
+
+    def _two_group_circuit(self):
+        # Group 1 touches all four qubits (path 0-1-2-3, colours X Z X Z);
+        # the edge 2-0 then makes the union an odd cycle, so group 2 holds
+        # only CX(2, 0).  Qubits 1 and 3 are untouched in group 2 and must
+        # carry their group-1 cut types forward.
+        circuit = Circuit(4, name="two_groups")
+        circuit.cx(0, 1)
+        circuit.cx(2, 3)
+        circuit.cx(1, 2)
+        circuit.cx(2, 0)
+        return circuit
+
+    def test_untouched_qubits_carry_cut_type_forward(self):
+        circuit = self._two_group_circuit()
+        dag = circuit.dag()
+        scheme = para_finding(dag)
+        groups = split_into_bipartite_groups(dag, scheme, circuit.num_qubits)
+        assert len(groups) == 2
+        for untouched in (1, 3):
+            assert groups[1].cut_types[untouched] == groups[0].cut_types[untouched]
+
+    def test_remapped_qubits_appear_in_the_groups_gates(self):
+        circuit = self._two_group_circuit()
+        encoded = schedule_resu_double_defect(circuit, _sufficient_mapping(circuit, DD))
+        dag = circuit.dag()
+        scheme = para_finding(dag)
+        groups = split_into_bipartite_groups(dag, scheme, circuit.num_qubits)
+        remaps = [op for op in encoded.operations if op.kind is OperationKind.CUT_REMAP]
+        assert remaps, "the odd cycle must force at least one remap"
+        # Walk remaps against the groups they precede: every remapped qubit
+        # must actually take part in a gate of that group.
+        for op, group in zip(remaps, groups[1:]):
+            touched = set()
+            for layer_index in group.layer_indices:
+                for node in scheme.layers[layer_index]:
+                    gate = dag.gate(node)
+                    touched.update((gate.control, gate.target))
+            assert set(op.qubits) <= touched, (
+                f"remap at cycle {op.start_cycle} lists untouched qubits "
+                f"{set(op.qubits) - touched}"
+            )
+        validate_encoded_circuit(circuit, encoded).raise_if_invalid()
+
+    def test_suite_circuits_never_remap_untouched_qubits(self):
+        for factory in (lambda: standard.qft(8), lambda: standard.sat(9, num_clauses=8)):
+            circuit = factory()
+            dag = circuit.dag()
+            scheme = para_finding(dag)
+            groups = split_into_bipartite_groups(dag, scheme, circuit.num_qubits)
+            previous = None
+            for group in groups:
+                touched = set()
+                for layer_index in group.layer_indices:
+                    for node in scheme.layers[layer_index]:
+                        gate = dag.gate(node)
+                        touched.update((gate.control, gate.target))
+                if previous is not None:
+                    changed = {
+                        q for q in group.cut_types if group.cut_types[q] != previous[q]
+                    }
+                    assert changed <= touched
+                previous = group.cut_types
+
+
+class TestResuInvariants:
+    """Theorem 2 and Lemma 1 on Chip.sufficient chips."""
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: standard.qft(8),
+            lambda: standard.dnn(8, layers=6),
+            lambda: standard.sat(9, num_clauses=8),
+            lambda: standard.cuccaro_adder(10),
+        ],
+        ids=["qft8", "dnn8", "sat9", "adder10"],
+    )
+    def test_theorem2_one_cycle_per_layer_double_defect(self, factory):
+        # Every Para-Finding layer fits in exactly one clock cycle on a
+        # sufficient chip, so the only extra cycles are the remap blocks.
+        circuit = factory()
+        encoded = schedule_resu_double_defect(circuit, _sufficient_mapping(circuit, DD))
+        remaps = [op for op in encoded.operations if op.kind is OperationKind.CUT_REMAP]
+        assert encoded.num_cycles == circuit.depth() + CUT_REMAP_CYCLES * len(remaps)
+
+    @pytest.mark.parametrize(
+        "factory",
+        [lambda: standard.qft(8), lambda: standard.ising(10, layers=5)],
+        ids=["qft8", "ising10"],
+    )
+    def test_theorem2_one_cycle_per_layer_lattice_surgery(self, factory):
+        circuit = factory()
+        encoded = schedule_resu_lattice_surgery(circuit, _sufficient_mapping(circuit, LS))
+        assert encoded.num_cycles == circuit.depth()
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: standard.qft(8),
+            lambda: standard.sat(9, num_clauses=8),
+            lambda: standard.grover(9, iterations=4),
+            lambda: standard.square_root(11, iterations=8),
+        ],
+        ids=["qft8", "sat9", "grover9", "sqrt11"],
+    )
+    def test_lemma1_groups_have_at_least_two_layers_except_last(self, factory):
+        circuit = factory()
+        dag = circuit.dag()
+        scheme = para_finding(dag)
+        groups = split_into_bipartite_groups(dag, scheme, circuit.num_qubits)
+        for group in groups[:-1]:
+            assert len(group.layer_indices) >= 2
+
+
+class TestEmptyCircuitConsistency:
+    def test_double_defect_empty_circuit_has_full_cut_assignment(self):
+        circuit = Circuit(4)
+        chip = Chip.sufficient(DD, 4, 3, 1)
+        mapping = build_initial_mapping(circuit, chip, None)
+        encoded = schedule_resu_double_defect(circuit, mapping)
+        # Consistent with the non-empty path: one cut type per qubit, and
+        # validator-clean without the "no initial cut types" warning.
+        assert encoded.initial_cut_types is not None
+        assert sorted(encoded.initial_cut_types) == [0, 1, 2, 3]
+        report = validate_encoded_circuit(circuit, encoded)
+        assert report.valid and not report.warnings
+
+    def test_lattice_surgery_empty_circuit_has_no_cut_types(self):
+        circuit = Circuit(4)
+        chip = Chip.sufficient(LS, 4, 3, 1)
+        mapping = build_initial_mapping(circuit, chip, None)
+        encoded = schedule_resu_lattice_surgery(circuit, mapping)
+        assert encoded.initial_cut_types is None
+        report = validate_encoded_circuit(circuit, encoded)
+        assert report.valid and not report.warnings
+
+
+class TestLayerRouterDiagnostics:
+    def test_starved_chip_names_the_unroutable_gates(self):
+        # A 1x3 chip with every corridor segment disabled: tiles (0, 0) and
+        # (0, 2) share no junction, so CX(q0, q1) placed on them can never
+        # route and route_layer's no-progress guard must name the gate.
+        from repro.chip import DefectSpec
+        from repro.core.mapping import InitialMapping
+        from repro.errors import SchedulingError
+        from repro.partition.placement import Placement
+        from repro.chip.chip import TileSlot
+
+        chip = Chip.with_tile_array(LS, 3, 1, 3, bandwidth=1)
+        starved = chip.with_defects(
+            DefectSpec(disabled_segments=tuple(key for key, _ in chip.corridor_segments()))
+        )
+        circuit = Circuit(2, name="starved")
+        circuit.cx(0, 1)
+        mapping = InitialMapping(
+            chip=starved,
+            placement=Placement({0: TileSlot(0, 0), 1: TileSlot(0, 2)}),
+            cut_types=None,
+            shape=(1, 3),
+            mapping_cost=0.0,
+        )
+        with pytest.raises(SchedulingError, match=r"no progress.*CX\(q0, q1\) \[node 0\]"):
+            schedule_resu_lattice_surgery(circuit, mapping)
 
 
 class TestResuLatticeSurgery:

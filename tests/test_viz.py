@@ -21,6 +21,17 @@ def test_render_placement_shows_all_qubits():
     assert "." in text
 
 
+def test_render_placement_marks_dead_tiles():
+    from repro.chip import DefectSpec
+
+    _, encoded = _compiled()
+    # Re-render on a copy of the chip with one unused slot marked dead.
+    dead_chip = encoded.chip.with_defects(DefectSpec(dead_tiles=((2, 2),)))
+    text = render_placement(dead_chip, encoded.placement)
+    assert "X" in text
+    assert "'X' = dead tile" in text
+
+
 def test_render_timeline_lists_every_cycle():
     _, encoded = _compiled()
     text = render_schedule_timeline(encoded)
