@@ -2,9 +2,11 @@
 """Batch evaluation: fan a grid of (circuit, method) jobs across processes.
 
 Compiles a slice of the Table I suite with three methods through the batch
-engine, first cold (everything compiles) and then warm (everything is served
-from the on-disk result cache), and prints the per-cell records plus the
-cache counters.
+engine, first cold (everything compiles, with live progress streamed as jobs
+finish) and then warm (everything is served from the on-disk result cache),
+and prints the per-cell records plus the cache counters.  Because records are
+persisted the moment they complete, interrupting the cold run and restarting
+it recompiles only what was still in flight.
 
 Run with::
 
@@ -16,7 +18,7 @@ from __future__ import annotations
 import sys
 import tempfile
 
-from repro import BatchJob, ResultCache, run_batch
+from repro import BatchJob, BatchProgress, ResultCache, run_batch
 from repro.circuits.generators import get_benchmark
 from repro.eval import format_table
 
@@ -31,10 +33,16 @@ def main(workers: int = 2) -> None:
         for method in METHODS
     ]
 
+    def show_progress(snapshot: BatchProgress) -> None:
+        print(
+            f"  {snapshot.finished}/{snapshot.total} "
+            f"(compiled {snapshot.done}, cached {snapshot.cached}, failed {snapshot.failed})"
+        )
+
     with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
         for label in ("cold", "warm"):
             cache = ResultCache(cache_dir)
-            result = run_batch(jobs, workers=workers, cache=cache)
+            result = run_batch(jobs, workers=workers, cache=cache, progress=show_progress)
             print(
                 f"{label} run: {result.recompilations} compiled, "
                 f"{result.cache_hits} cache hits ({result.workers} workers)"

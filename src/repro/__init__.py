@@ -32,13 +32,16 @@ from repro.core import (
     default_chip,
 )
 from repro.pipeline import (
+    BatchFailure,
     BatchJob,
+    BatchProgress,
     BatchResult,
     PassContext,
     Pipeline,
     PipelineResult,
     ResultCache,
     build_pipeline,
+    default_cache_dir,
     run_batch,
     run_pipeline_method,
 )
@@ -72,9 +75,12 @@ __all__ = [
     "PipelineResult",
     "build_pipeline",
     "run_pipeline_method",
+    "BatchFailure",
     "BatchJob",
+    "BatchProgress",
     "BatchResult",
     "ResultCache",
+    "default_cache_dir",
     "run_batch",
     "EngineCounters",
     "EngineComparison",

@@ -21,7 +21,12 @@ Commands
     (``--jobs``) with an on-disk result cache (disable with ``--no-cache``).
 ``batch``
     Compile a list of circuits with a list of methods through the batch
-    engine and print one record per (circuit, method) pair.
+    engine and print one record per (circuit, method) pair.  Failed jobs are
+    reported individually (exit code 1) while their siblings complete, and
+    ``--progress`` streams live ``done/failed/cached`` counts to stderr.
+``cache``
+    Inspect or clean the on-disk result cache: ``stats`` (entries, bytes,
+    shards), ``clear``, and ``prune --older-than DAYS``.
 ``suite``
     List the built-in benchmark circuits and their statistics.
 """
@@ -45,8 +50,13 @@ from repro.eval import (
     table4_gate_scheduling,
     table5_cut_scheduling,
 )
-from repro.pipeline.batch import DEFAULT_CACHE_DIR, BatchJob, ResultCache, run_batch
-from repro.pipeline.registry import run_pipeline_method
+from repro.pipeline.batch import (
+    BatchJob,
+    BatchProgress,
+    ResultCache,
+    run_batch,
+)
+from repro.pipeline.registry import run_pipeline_method, validate_methods
 from repro.verify import validate_encoded_circuit
 from repro import viz
 
@@ -73,11 +83,44 @@ def _load_circuit(spec: str) -> Circuit:
     return get_benchmark(spec).build()
 
 
+def _check_jobs(jobs: int | None) -> None:
+    """Surface a bad ``--jobs`` value as a clean CLI error before any work."""
+    from repro.pipeline.batch import resolve_workers
+
+    try:
+        resolve_workers(jobs)
+    except ValueError as exc:
+        raise ReproError(str(exc)) from None
+
+
 def _make_cache(args: argparse.Namespace) -> ResultCache | None:
-    """Build the result cache requested by ``--cache-dir`` / ``--no-cache``."""
-    if args.no_cache:
+    """Build the result cache requested by ``--cache-dir`` / ``--no-cache``.
+
+    ``--cache-dir`` defaults to ``None``, so :class:`ResultCache` resolves
+    ``$REPRO_CACHE_DIR`` at construction time rather than at import time.
+    """
+    if getattr(args, "no_cache", False):
         return None
     return ResultCache(args.cache_dir)
+
+
+class _ProgressReporter:
+    """Batch progress hook: collects failures, optionally printing live counts."""
+
+    def __init__(self, echo: bool):
+        self.echo = echo
+        self.failures: list = []
+
+    def __call__(self, snapshot: BatchProgress) -> None:
+        if snapshot.last_failure is not None:
+            self.failures.append(snapshot.last_failure)
+        if self.echo:
+            print(
+                f"batch {snapshot.finished}/{snapshot.total}: "
+                f"{snapshot.done} compiled, {snapshot.cached} cached, "
+                f"{snapshot.failed} failed",
+                file=sys.stderr,
+            )
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -186,10 +229,23 @@ def _cmd_compile(args: argparse.Namespace) -> int:
 def _cmd_table(args: argparse.Namespace) -> int:
     builder, title = _TABLES[args.number]
     cache = _make_cache(args)
-    rows = builder(jobs=args.jobs, cache=cache, engine=args.engine)
+    _check_jobs(args.jobs)
+    reporter = _ProgressReporter(echo=args.progress)
+    rows = builder(jobs=args.jobs, cache=cache, engine=args.engine, progress=reporter)
     print(format_table(rows, title=title))
     if cache is not None:
         print(f"cache: {cache.hits} hits, {cache.misses} misses ({cache.directory})")
+    if reporter.failures:
+        for failure in reporter.failures:
+            print(
+                f"failed cell: {failure.circuit} x {failure.method} — {failure.error}",
+                file=sys.stderr,
+            )
+        print(
+            f"error: {len(reporter.failures)} cell(s) failed to compile (shown as '-')",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -197,6 +253,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     methods = [m.strip() for m in args.methods.split(",") if m.strip()]
     if not methods:
         raise ReproError("--methods needs at least one method name")
+    validate_methods(methods)  # a typo must fail fast, not per job in the pool
+    _check_jobs(args.jobs)
     circuits = {spec: _load_circuit(spec) for spec in args.circuits}
     jobs = [
         BatchJob(
@@ -211,7 +269,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         for method in methods
     ]
     cache = _make_cache(args)
-    result = run_batch(jobs, workers=args.jobs, cache=cache)
+    reporter = _ProgressReporter(echo=args.progress)
+    result = run_batch(jobs, workers=args.jobs, cache=cache, progress=reporter)
     rows = [
         {
             "circuit": record.circuit,
@@ -223,6 +282,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             "compile_s": round(record.compile_seconds, 4),
         }
         for record in result.records
+        if record is not None
     ]
     print(format_table(rows, title=f"Batch results ({result.workers} workers)"))
     if cache is not None:
@@ -230,7 +290,38 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             f"cache: {result.cache_hits} hits, {result.cache_misses} misses, "
             f"{result.recompilations} compiled ({cache.directory})"
         )
-    return 0
+    for failure in result.failures:
+        print(
+            f"failed: {failure.circuit} x {failure.method} after "
+            f"{failure.seconds:.2f}s — {failure.error}",
+            file=sys.stderr,
+        )
+    return 0 if result.ok else 1
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        print(f"directory : {stats['directory']}")
+        print(f"entries   : {stats['entries']}")
+        print(f"bytes     : {stats['bytes']}")
+        print(f"shards    : {stats['shards']}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached record(s) from {cache.directory}")
+        return 0
+    if args.cache_command == "prune":
+        if args.older_than < 0:
+            raise ReproError("--older-than must be a non-negative number of days")
+        removed = cache.prune(args.older_than * 86400.0)
+        print(
+            f"pruned {removed} record(s) older than {args.older_than:g} day(s) "
+            f"from {cache.directory}"
+        )
+        return 0
+    raise ReproError(f"unknown cache command {args.cache_command!r}")  # pragma: no cover
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -276,11 +367,21 @@ def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
         help="disable the on-disk result cache (results are keyed by circuit, method, "
         "options and the repro version — use this after editing the compiler itself)",
     )
+    _add_cache_dir_flag(parser)
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print live done/failed/cached counts to stderr as jobs complete",
+    )
+
+
+def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir",
-        default=str(DEFAULT_CACHE_DIR),
+        default=None,
         metavar="DIR",
-        help="result cache location (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+        help="result cache location (default: $REPRO_CACHE_DIR, resolved when "
+        "the command runs, or ~/.cache/repro)",
     )
 
 
@@ -366,6 +467,22 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--validate", action="store_true", help="validate every schedule")
     _add_batch_flags(batch)
     batch.set_defaults(func=_cmd_batch)
+
+    cache_cmd = sub.add_parser("cache", help="inspect or clean the on-disk result cache")
+    cache_sub = cache_cmd.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="print entry/size/shard counters")
+    cache_clear = cache_sub.add_parser("clear", help="delete every cached record")
+    cache_prune = cache_sub.add_parser("prune", help="delete records older than a cutoff")
+    cache_prune.add_argument(
+        "--older-than",
+        type=float,
+        required=True,
+        metavar="DAYS",
+        help="delete records not rewritten in the last DAYS days (fractions allowed)",
+    )
+    for cache_parser in (cache_stats, cache_clear, cache_prune):
+        _add_cache_dir_flag(cache_parser)
+        cache_parser.set_defaults(func=_cmd_cache)
 
     suite = sub.add_parser("suite", help="list the built-in benchmark circuits")
     suite.add_argument("--large", action="store_true", help="include the very large circuits")

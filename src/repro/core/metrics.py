@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.chip.chip import Chip
 from repro.circuits.circuit import Circuit
@@ -47,12 +48,18 @@ class ExecutionScheme:
         """Number of layers (equals the DAG critical-path length)."""
         return len(self.layers)
 
+    @cached_property
+    def _layer_by_node(self) -> dict[int, int]:
+        # Built once per scheme: per-node lookups over a linear scan were
+        # O(layers × width) each, quadratic in aggregate on wide circuits.
+        return {node: index for index, layer in enumerate(self.layers) for node in layer}
+
     def layer_of(self, node: int) -> int:
-        """Layer index (0-based) of a DAG node."""
-        for index, layer in enumerate(self.layers):
-            if node in layer:
-                return index
-        raise SchedulingError(f"gate node {node} missing from execution scheme")
+        """Layer index (0-based) of a DAG node (O(1) after the first lookup)."""
+        try:
+            return self._layer_by_node[node]
+        except KeyError:
+            raise SchedulingError(f"gate node {node} missing from execution scheme") from None
 
 
 def para_finding(dag: GateDAG) -> ExecutionScheme:

@@ -17,18 +17,35 @@ explicitly.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 from statistics import mean
 
 from repro.chip.chip import Chip
 from repro.chip.geometry import SurfaceCodeModel
 from repro.circuits.generators import parallelism_group
-from repro.eval.runner import run_method
-from repro.pipeline.batch import BatchJob, run_batch
+from repro.errors import ReproError
+from repro.pipeline.batch import BatchJob, BatchProgress, BatchResult, run_batch
 
 #: Workload parameters of the paper's scalability study.
 FIGURE_NUM_QUBITS = 49
 FIGURE_DEPTH = 50
+
+
+def _require_complete(batch: BatchResult, what: str) -> None:
+    """Figures average over whole groups, so any failed job aborts the sweep.
+
+    Unlike a table cell (rendered as ``-``), a missing sample would silently
+    skew a figure's group means; raise with the captured failure detail
+    instead of letting ``None`` records surface as an AttributeError.
+    """
+    if batch.ok:
+        return
+    first = batch.failures[0]
+    raise ReproError(
+        f"{len(batch.failures)} {what} job(s) failed; first: {first.circuit} x "
+        f"{first.method} after {first.seconds:.2f}s — {first.error}\n{first.traceback}"
+    )
 
 
 @dataclass
@@ -51,6 +68,7 @@ def figure11_parallelism(
     code_distance: int = 3,
     seed: int = 0,
     jobs: int | None = 1,
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[SweepPoint]:
     """Figure 11: average cycles vs circuit parallelism degree on the minimum chip."""
     baseline_method = "edpci_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "autobraid"
@@ -67,7 +85,8 @@ def figure11_parallelism(
         for method in (baseline_method, ecmas_method)
         for circuit in groups[parallelism]
     ]
-    batch = run_batch(batch_jobs, workers=jobs)
+    batch = run_batch(batch_jobs, workers=jobs, progress=progress)
+    _require_complete(batch, "figure 11")
     points: list[SweepPoint] = []
     cursor = 0
     for parallelism in parallelisms:
@@ -95,32 +114,54 @@ def figure12_chip_size(
     depth: int = FIGURE_DEPTH,
     code_distance: int = 3,
     seed: int = 0,
+    jobs: int | None = 1,
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[SweepPoint]:
     """Figure 12: cycles and compile-time ratio vs chip size for PM ∈ {11, 21}.
 
     The x value of each point is the number of physical qubits divided by
     ``d²`` (the unit of the paper's x axis), and the ``extra`` dict carries
-    the compile-time ratio relative to that series' smallest chip.
+    the compile-time ratio relative to that series' smallest chip.  The whole
+    sweep runs through the batch engine, so ``jobs``/``progress`` behave as
+    in :func:`figure11_parallelism`.
     """
+    ecmas_method = "ecmas_ls_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "ecmas_dd_min"
+    baseline_method = "edpci" if model is SurfaceCodeModel.LATTICE_SURGERY else "autobraid"
+    groups = {
+        parallelism: parallelism_group(
+            num_qubits, depth, parallelism, group_size, seed=seed + parallelism
+        )
+        for parallelism in parallelisms
+    }
+    chips = {
+        bandwidth: Chip.for_bandwidth(model, num_qubits, code_distance, bandwidth)
+        for bandwidth in bandwidths
+    }
+    batch_jobs = [
+        BatchJob(
+            circuit=circuit,
+            method=ecmas_method if series == "ecmas" else baseline_method,
+            code_distance=code_distance,
+            chip=chips[bandwidth],
+        )
+        for parallelism in parallelisms
+        for bandwidth in bandwidths
+        for series in ("ecmas", "baseline")
+        for circuit in groups[parallelism]
+    ]
+    batch = run_batch(batch_jobs, workers=jobs, progress=progress)
+    _require_complete(batch, "figure 12")
+
     points: list[SweepPoint] = []
+    cursor = 0
     for parallelism in parallelisms:
-        circuits = parallelism_group(num_qubits, depth, parallelism, group_size, seed=seed + parallelism)
+        group = groups[parallelism]
         series_points: dict[str, list[SweepPoint]] = {"ecmas": [], "baseline": []}
         for bandwidth in bandwidths:
-            chip = Chip.for_bandwidth(model, num_qubits, code_distance, bandwidth)
-            x = chip.physical_qubits / (code_distance**2)
-            ecmas_method = (
-                "ecmas_ls_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "ecmas_dd_min"
-            )
-            baseline_method = (
-                "edpci" if model is SurfaceCodeModel.LATTICE_SURGERY else "autobraid"
-            )
+            x = chips[bandwidth].physical_qubits / (code_distance**2)
             for series in ("ecmas", "baseline"):
-                method = ecmas_method if series == "ecmas" else baseline_method
-                records = [
-                    run_method(circuit, method, chip=chip, code_distance=code_distance)
-                    for circuit in circuits
-                ]
+                records = batch.records[cursor : cursor + len(group)]
+                cursor += len(records)
                 cycles_samples = [record.cycles for record in records]
                 compile_samples = [record.compile_seconds for record in records]
                 series_points[series].append(

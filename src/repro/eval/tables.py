@@ -14,11 +14,11 @@ warm reruns free.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from pathlib import Path
 
 from repro.circuits.generators import BenchmarkSpec, default_suite, sensitivity_suite
-from repro.pipeline.batch import BatchJob, ResultCache, run_batch
+from repro.pipeline.batch import BatchJob, BatchProgress, ResultCache, run_batch
 
 #: The method columns of Table I, in the paper's order.
 TABLE1_METHODS: tuple[str, ...] = (
@@ -62,8 +62,13 @@ def _run_grid(
     cache: ResultCache | Path | str | None,
     paper_lookup: bool = False,
     engine: str = "reference",
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[dict]:
-    """Compile every (circuit, column) cell through the batch engine."""
+    """Compile every (circuit, column) cell through the batch engine.
+
+    A cell whose compile failed (see :class:`~repro.pipeline.batch.BatchFailure`)
+    renders as ``None`` instead of discarding the rest of the table.
+    """
     circuits = [spec.build() for spec in specs]
     batch_jobs: list[BatchJob] = []
     for spec, circuit in zip(specs, circuits):
@@ -79,7 +84,7 @@ def _run_grid(
                     engine=engine,
                 )
             )
-    batch = run_batch(batch_jobs, workers=jobs, cache=cache)
+    batch = run_batch(batch_jobs, workers=jobs, cache=cache, progress=progress)
 
     rows: list[dict] = []
     cursor = 0
@@ -96,8 +101,8 @@ def _run_grid(
         for column in columns:
             record = batch.records[cursor]
             cursor += 1
-            row[column] = record.cycles
-            if record.paper_cycles is not None:
+            row[column] = record.cycles if record is not None else None
+            if record is not None and record.paper_cycles is not None:
                 row[f"paper_{column}"] = record.paper_cycles
         rows.append(row)
     return rows
@@ -112,6 +117,7 @@ def table1_overview(
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
     engine: str = "reference",
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[dict]:
     """Table I: cycle counts of every method over the benchmark suite."""
     specs = list(suite) if suite is not None else default_suite(include_large=include_large)
@@ -124,6 +130,7 @@ def table1_overview(
         cache,
         paper_lookup=True,
         engine=engine,
+        progress=progress,
     )
 
 
@@ -134,9 +141,12 @@ def _sensitivity_rows(
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
     engine: str = "reference",
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[dict]:
     specs = list(suite) if suite is not None else sensitivity_suite()
-    return _run_grid(specs, columns, code_distance, False, jobs, cache, engine=engine)
+    return _run_grid(
+        specs, columns, code_distance, False, jobs, cache, engine=engine, progress=progress
+    )
 
 
 def table2_location(
@@ -145,9 +155,12 @@ def table2_location(
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
     engine: str = "reference",
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[dict]:
     """Table II: location-initialisation ablation (Trivial / Metis / Ours)."""
-    return _sensitivity_rows(TABLE2_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
+    return _sensitivity_rows(
+        TABLE2_COLUMNS, suite, code_distance, jobs, cache, engine=engine, progress=progress
+    )
 
 
 def table3_cut_initialisation(
@@ -156,9 +169,12 @@ def table3_cut_initialisation(
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
     engine: str = "reference",
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[dict]:
     """Table III: cut-type initialisation ablation (Random / Max-cut / Ours)."""
-    return _sensitivity_rows(TABLE3_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
+    return _sensitivity_rows(
+        TABLE3_COLUMNS, suite, code_distance, jobs, cache, engine=engine, progress=progress
+    )
 
 
 def table4_gate_scheduling(
@@ -167,9 +183,12 @@ def table4_gate_scheduling(
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
     engine: str = "reference",
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[dict]:
     """Table IV: gate-scheduling ablation in the lattice surgery model."""
-    return _sensitivity_rows(TABLE4_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
+    return _sensitivity_rows(
+        TABLE4_COLUMNS, suite, code_distance, jobs, cache, engine=engine, progress=progress
+    )
 
 
 def table5_cut_scheduling(
@@ -178,9 +197,12 @@ def table5_cut_scheduling(
     jobs: int | None = 1,
     cache: ResultCache | Path | str | None = None,
     engine: str = "reference",
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> list[dict]:
     """Table V: cut-type scheduling ablation (Channel-first / Time-first / Ours)."""
-    return _sensitivity_rows(TABLE5_COLUMNS, suite, code_distance, jobs, cache, engine=engine)
+    return _sensitivity_rows(
+        TABLE5_COLUMNS, suite, code_distance, jobs, cache, engine=engine, progress=progress
+    )
 
 
 def summarise_reduction(rows: list[dict], baseline: str, ours: str) -> dict:

@@ -12,9 +12,12 @@
 """
 
 from repro.pipeline.batch import (
+    BatchFailure,
     BatchJob,
+    BatchProgress,
     BatchResult,
     ResultCache,
+    default_cache_dir,
     execute_job,
     resolve_workers,
     run_batch,
@@ -45,6 +48,7 @@ from repro.pipeline.registry import (
     resolve_method,
     run_pipeline_method,
     standard_passes,
+    validate_methods,
 )
 
 __all__ = [
@@ -69,9 +73,13 @@ __all__ = [
     "resolve_method",
     "build_pipeline",
     "run_pipeline_method",
+    "validate_methods",
+    "BatchFailure",
     "BatchJob",
+    "BatchProgress",
     "BatchResult",
     "ResultCache",
+    "default_cache_dir",
     "run_batch",
     "execute_job",
     "resolve_workers",

@@ -1,4 +1,4 @@
-"""Parallel batch evaluation with a content-keyed on-disk result cache.
+"""Streaming parallel batch evaluation with a tiered, sharded result cache.
 
 The evaluation tables and figures all reduce to the same shape of work: a
 list of ``(circuit, method)`` jobs, each producing one
@@ -8,6 +8,28 @@ by a SHA-256 fingerprint of everything that determines the outcome — the
 circuit's gate list, the method name, the chip, the code distance and the
 options.  Because every compile is deterministic for a fixed seed, a cache
 hit is exact: a warm rerun of a table recompiles nothing.
+
+The engine is *streaming* and *fault-isolating*:
+
+* results are consumed as they complete (``imap_unordered``), and each record
+  is persisted to the cache the moment it lands — killing a long sweep
+  mid-run loses only the jobs still in flight, and a rerun warm-starts from
+  everything already finished;
+* a job that raises does not tear down the pool: the exception is captured
+  as a structured :class:`BatchFailure` entry (method, circuit, traceback,
+  wall-clock) on the :class:`BatchResult` while sibling jobs run to
+  completion, leaving ``None`` at the failed job's position in ``records``;
+* a ``progress`` callback receives a :class:`BatchProgress` snapshot after
+  the cache scan and after every completion, so long sweeps can report live
+  ``done/failed/cached`` counts.
+
+The :class:`ResultCache` itself is two-tiered: JSON files on disk, sharded
+into ``<fingerprint[:2]>/`` subdirectories so million-record caches never put
+every entry in one directory, below a bounded in-memory LRU of serialised
+records that absorbs repeated lookups within a process.  Corrupt disk entries
+self-heal (the unreadable file is deleted on the way to a miss), and writes
+go through a per-writer unique temp file, so concurrent processes can share
+one cache directory safely.
 
 Example
 -------
@@ -26,7 +48,11 @@ import hashlib
 import json
 import multiprocessing
 import os
-from dataclasses import asdict, dataclass, field
+import time
+import traceback
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
 from repro.chip.chip import Chip
@@ -38,12 +64,20 @@ from repro.core.ecmas import EcmasOptions
 #: record format changes).  2: canonical routing tie-break + engine field.
 #: 3: defect-aware chips — the chip key carries the defect spec, jobs carry a
 #: ``defects`` field, and the ReSu cut-remap fix changed ReSu schedules.
+#: (The streaming rework did not bump it: records are bit-identical to the
+#: barrier engine's, and pre-shard flat entries are still found on disk.)
 CACHE_FORMAT_VERSION = 3
 
-#: Default cache location, overridable via the ``REPRO_CACHE_DIR`` variable.
-DEFAULT_CACHE_DIR = Path(
-    os.environ.get("REPRO_CACHE_DIR", Path.home() / ".cache" / "repro")
-)
+
+def default_cache_dir() -> Path:
+    """The cache root: ``$REPRO_CACHE_DIR`` (read at call time) or ``~/.cache/repro``.
+
+    Resolved lazily so that setting the environment variable *after*
+    ``repro`` is imported (tests, service deployments) still takes effect on
+    the next :class:`ResultCache` construction.
+    """
+    configured = os.environ.get("REPRO_CACHE_DIR", "")
+    return Path(configured) if configured else Path.home() / ".cache" / "repro"
 
 
 @dataclass(frozen=True)
@@ -110,26 +144,89 @@ def _chip_key(chip: Chip | None) -> list | None:
 
 
 class ResultCache:
-    """A directory of JSON-serialised experiment records, one per job hash."""
+    """Two-tier cache of JSON-serialised experiment records, one per job hash.
 
-    def __init__(self, directory: Path | str = DEFAULT_CACHE_DIR):
-        self.directory = Path(directory).expanduser()
+    Disk entries live under ``<directory>/<fingerprint[:2]>/<fingerprint>.json``
+    (pre-sharding flat entries are still found and served); an in-memory LRU
+    of at most ``memory_limit`` serialised records sits in front of the disk
+    tier.  ``directory=None`` resolves :func:`default_cache_dir` at
+    construction time, honouring ``$REPRO_CACHE_DIR`` changes made after
+    import.
+    """
+
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        memory_limit: int = 512,
+    ):
+        self.directory = Path(
+            directory if directory is not None else default_cache_dir()
+        ).expanduser()
+        self.memory_limit = max(0, int(memory_limit))
+        self._memory: OrderedDict[str, str] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def _legacy_path(self, key: str) -> Path:
+        """Flat pre-sharding location, still honoured on reads."""
         return self.directory / f"{key}.json"
+
+    def _entry_paths(self):
+        """Every record file, sharded and legacy-flat alike."""
+        if not self.directory.is_dir():
+            return
+        yield from self.directory.glob("*.json")
+        yield from self.directory.glob("??/*.json")
+
+    def _drop_empty_shards(self) -> None:
+        if not self.directory.is_dir():
+            return
+        for shard in self.directory.glob("??"):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds when the shard is empty
+                except OSError:
+                    pass
+
+    def _remember(self, key: str, text: str) -> None:
+        if self.memory_limit == 0:
+            return
+        self._memory[key] = text
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.memory_limit:
+            self._memory.popitem(last=False)
 
     def get(self, job: BatchJob):
         """Return the cached record for ``job``, or ``None`` (counts hit/miss)."""
         from repro.eval.runner import ExperimentRecord
 
-        path = self._path(job.fingerprint())
-        try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-            record = ExperimentRecord(**payload)
-        except (OSError, ValueError, TypeError):
-            # Unreadable, corrupt or schema-skewed entries degrade to a miss.
+        key = job.fingerprint()
+        record = None
+        text = self._memory.get(key)
+        if text is not None:
+            # The memory tier only ever holds text that parsed successfully.
+            self._memory.move_to_end(key)
+            record = ExperimentRecord(**json.loads(text))
+        else:
+            for path in (self._path(key), self._legacy_path(key)):
+                try:
+                    text = path.read_text(encoding="utf-8")
+                except OSError:
+                    continue
+                try:
+                    record = ExperimentRecord(**json.loads(text))
+                except (ValueError, TypeError):
+                    # Corrupt or schema-skewed entries self-heal: delete the
+                    # unreadable file on the way to a miss so the rerun's
+                    # fresh record replaces it for good.
+                    path.unlink(missing_ok=True)
+                    continue
+                self._remember(key, text)
+                break
+        if record is None:
             self.misses += 1
             return None
         self.hits += 1
@@ -140,40 +237,132 @@ class ResultCache:
         return record
 
     def put(self, job: BatchJob, record) -> None:
-        """Persist ``record`` for ``job``."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(job.fingerprint())
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(asdict(record), sort_keys=True), encoding="utf-8")
-        tmp.replace(path)
+        """Persist ``record`` for ``job`` (atomically, concurrency-safe)."""
+        key = job.fingerprint()
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(asdict(record), sort_keys=True)
+        # A per-writer unique temp name: processes sharing a cache directory
+        # must not interleave writes through one well-known tmp file.
+        tmp = path.parent / f".{key}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
+        try:
+            tmp.write_text(text, encoding="utf-8")
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self._remember(key, text)
 
     def clear(self) -> int:
         """Delete every cached record; returns the number removed."""
         removed = 0
-        if self.directory.is_dir():
-            for path in self.directory.glob("*.json"):
-                path.unlink(missing_ok=True)
-                removed += 1
+        for path in list(self._entry_paths()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        self._memory.clear()
+        self._drop_empty_shards()
         return removed
+
+    def prune(self, older_than_seconds: float) -> int:
+        """Delete records not rewritten in the last ``older_than_seconds``."""
+        cutoff = time.time() - older_than_seconds
+        removed = 0
+        for path in list(self._entry_paths()):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+            except OSError:
+                continue
+        self._memory.clear()
+        self._drop_empty_shards()
+        return removed
+
+    def stats(self) -> dict:
+        """Entry/size/shard counters for ``repro cache stats`` and monitoring."""
+        entries = 0
+        total_bytes = 0
+        for path in self._entry_paths():
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        shards = 0
+        if self.directory.is_dir():
+            shards = sum(1 for p in self.directory.glob("??") if p.is_dir())
+        return {
+            "directory": str(self.directory),
+            "entries": entries,
+            "bytes": total_bytes,
+            "shards": shards,
+            "memory_entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+@dataclass(frozen=True)
+class BatchFailure:
+    """One job that raised instead of producing a record."""
+
+    index: int
+    method: str
+    circuit: str
+    error: str
+    traceback: str
+    seconds: float
+
+
+@dataclass
+class BatchProgress:
+    """Live counters handed to :func:`run_batch`'s progress callback.
+
+    ``done`` counts compiles finished this run, ``cached`` jobs served from
+    the cache scan, ``failed`` captured :class:`BatchFailure` entries; the
+    run is over when :attr:`finished` reaches ``total``.  When the event that
+    produced this snapshot was a job failure, ``last_failure`` carries it, so
+    streaming consumers (CLI progress lines, table builders) can name the
+    failed cell without waiting for the final :class:`BatchResult`.
+    """
+
+    total: int
+    done: int = 0
+    failed: int = 0
+    cached: int = 0
+    last_failure: BatchFailure | None = None
+
+    @property
+    def finished(self) -> int:
+        return self.done + self.failed + self.cached
 
 
 @dataclass
 class BatchResult:
-    """Records for every job (in job order) plus cache counters."""
+    """Records for every job (in job order) plus failures and cache counters.
+
+    ``records[i]`` is ``None`` exactly when job ``i`` appears in
+    ``failures`` (sorted by job index).
+    """
 
     records: list = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     workers: int = 1
+    failures: list[BatchFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every job produced a record."""
+        return not self.failures
 
     @property
     def recompilations(self) -> int:
         """Jobs that were actually compiled (i.e. not served from the cache)."""
-        return len(self.records) - self.cache_hits
+        return sum(1 for record in self.records if record is not None) - self.cache_hits
 
 
 def execute_job(job: BatchJob):
-    """Compile one job in the current process (the pool worker entry point)."""
+    """Compile one job in the current process (raises on failure)."""
     from repro.eval.runner import run_method
 
     return run_method(
@@ -190,10 +379,41 @@ def execute_job(job: BatchJob):
     )
 
 
+def _execute_indexed(item: tuple[int, BatchJob]):
+    """Pool worker entry point: run one job, capturing any exception.
+
+    Returns ``(index, record, None)`` on success and
+    ``(index, None, BatchFailure)`` when the compile raised — the failure
+    travels back as data, so one bad job never tears down the pool.
+    """
+    index, job = item
+    started = time.perf_counter()
+    try:
+        return index, execute_job(job), None
+    except Exception as exc:
+        failure = BatchFailure(
+            index=index,
+            method=job.method,
+            circuit=job.circuit_name or job.circuit.name,
+            error=f"{type(exc).__name__}: {exc}",
+            traceback=traceback.format_exc(),
+            seconds=time.perf_counter() - started,
+        )
+        return index, None, failure
+
+
 def resolve_workers(workers: int | None) -> int:
-    """Normalise a worker count (``None``/``0`` → one per CPU)."""
-    if workers is None or workers <= 0:
+    """Normalise a worker count (``None``/``0`` → one per CPU).
+
+    Negative counts are rejected: silently treating them as "one per CPU"
+    hid sign bugs in callers.
+    """
+    if workers is None or workers == 0:
         return os.cpu_count() or 1
+    if workers < 0:
+        raise ValueError(
+            f"workers must be a positive integer, or None/0 for one per CPU; got {workers}"
+        )
     return workers
 
 
@@ -201,50 +421,74 @@ def run_batch(
     jobs: list[BatchJob],
     workers: int | None = 1,
     cache: ResultCache | Path | str | None = None,
+    progress: Callable[[BatchProgress], None] | None = None,
 ) -> BatchResult:
-    """Run every job, fanning cache misses across a process pool.
+    """Run every job, streaming cache misses through a process pool.
+
+    Completed records are written to the cache *as they finish*, so an
+    interrupted run warm-starts from everything already done, and a job that
+    raises becomes a :class:`BatchFailure` entry while its siblings complete.
 
     Parameters
     ----------
     jobs:
-        The compilation requests; the result's ``records`` match their order.
+        The compilation requests; the result's ``records`` match their order
+        (``None`` where the job failed).
     workers:
         Pool size.  ``1`` (the default) runs in-process with no pool overhead;
-        ``None`` or ``0`` uses one worker per CPU.
+        ``None`` or ``0`` uses one worker per CPU; negatives raise.
     cache:
         A :class:`ResultCache`, a directory path to build one from, or
         ``None`` to disable caching.
+    progress:
+        Optional callback receiving a fresh :class:`BatchProgress` snapshot
+        after the cache scan and after every job completion.
     """
     workers = resolve_workers(workers)
     if isinstance(cache, (str, Path)):
         cache = ResultCache(cache)
 
     result = BatchResult(records=[None] * len(jobs), workers=workers)
-    # The cache counters are cumulative across batches; report per-batch deltas.
-    hits_before = cache.hits if cache is not None else 0
-    misses_before = cache.misses if cache is not None else 0
+    tracker = BatchProgress(total=len(jobs))
     pending: list[tuple[int, BatchJob]] = []
     for index, job in enumerate(jobs):
         record = cache.get(job) if cache is not None else None
         if record is not None:
             result.records[index] = record
+            result.cache_hits += 1
+            tracker.cached += 1
         else:
             pending.append((index, job))
-    if cache is not None:
-        result.cache_hits = cache.hits - hits_before
-        result.cache_misses = cache.misses - misses_before
+            if cache is not None:
+                result.cache_misses += 1
+    if progress is not None:
+        progress(replace(tracker))
+
+    job_of = dict(pending)
+
+    def finish(index: int, record, failure: BatchFailure | None) -> None:
+        # Persist before reporting: a progress callback that interrupts the
+        # run must never lose the record that triggered it.
+        if failure is None:
+            result.records[index] = record
+            if cache is not None:
+                cache.put(job_of[index], record)
+            tracker.done += 1
+        else:
+            result.failures.append(failure)
+            tracker.failed += 1
+        if progress is not None:
+            progress(replace(tracker, last_failure=failure))
 
     if pending:
         if workers > 1 and len(pending) > 1:
-            indices = [index for index, _ in pending]
             with multiprocessing.Pool(min(workers, len(pending))) as pool:
-                records = pool.map(execute_job, [job for _, job in pending], chunksize=1)
-            for index, record in zip(indices, records):
-                result.records[index] = record
+                for index, record, failure in pool.imap_unordered(_execute_indexed, pending):
+                    finish(index, record, failure)
         else:
-            for index, job in pending:
-                result.records[index] = execute_job(job)
-        if cache is not None:
-            for index, job in pending:
-                cache.put(job, result.records[index])
+            for item in pending:
+                index, record, failure = _execute_indexed(item)
+                finish(index, record, failure)
+    # imap_unordered delivers in completion order; report deterministically.
+    result.failures.sort(key=lambda f: f.index)
     return result

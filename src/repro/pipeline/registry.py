@@ -255,6 +255,27 @@ def resolve_method(method: str) -> MethodSpec:
     )
 
 
+def validate_methods(methods: Sequence[str]) -> None:
+    """Resolve every method name up front, naming all unknown ones at once.
+
+    The batch CLI calls this before spinning up a worker pool, so one typo in
+    a method list fails fast with the full catalogue instead of surfacing as
+    a per-job :class:`~repro.pipeline.batch.BatchFailure` after the fan-out.
+    """
+    unknown = []
+    for method in methods:
+        try:
+            resolve_method(method)
+        except ReproError:
+            unknown.append(method)
+    if unknown:
+        raise ReproError(
+            f"unknown evaluation method(s): {', '.join(unknown)}; known methods: "
+            f"{', '.join(registered_methods())} and the ablation families "
+            f"{', '.join(sorted(_ABLATIONS))}:<value>"
+        )
+
+
 def build_pipeline(method: str = "ecmas") -> Pipeline:
     """Construct the pipeline for a method name."""
     spec = resolve_method(method)

@@ -1,9 +1,11 @@
-"""Tests for the parallel batch-evaluation engine (:mod:`repro.pipeline.batch`)."""
+"""Tests for the streaming batch-evaluation engine (:mod:`repro.pipeline.batch`)."""
 
 from __future__ import annotations
 
+import json
 import os
 import time
+from dataclasses import asdict
 
 import pytest
 
@@ -12,6 +14,7 @@ from repro.eval import table1_overview
 from repro.pipeline.batch import (
     BatchJob,
     ResultCache,
+    default_cache_dir,
     execute_job,
     resolve_workers,
     run_batch,
@@ -58,6 +61,15 @@ class TestRunBatch:
         assert resolve_workers(None) == (os.cpu_count() or 1)
         assert resolve_workers(0) == (os.cpu_count() or 1)
 
+    @pytest.mark.parametrize("workers", [-1, -8])
+    def test_resolve_workers_rejects_negatives(self, workers):
+        with pytest.raises(ValueError, match="positive integer"):
+            resolve_workers(workers)
+
+    def test_run_batch_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            run_batch(_jobs(methods=("ecmas_ls_min",)), workers=-2)
+
     def test_cache_accepts_plain_path(self, tmp_path):
         jobs = _jobs(methods=("ecmas_ls_min",))
         run_batch(jobs, cache=tmp_path / "c")
@@ -84,16 +96,28 @@ class TestRunBatch:
         assert (second.cache_hits, second.cache_misses, second.recompilations) == (1, 0, 0)
         assert (third.cache_hits, third.cache_misses, third.recompilations) == (1, 1, 1)
 
-    def test_schema_skewed_cache_entry_degrades_to_miss(self, tmp_path):
+    def test_schema_skewed_cache_entry_degrades_to_miss_and_self_heals(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
         jobs = _jobs(methods=("ecmas_ls_min",))
         run_batch(jobs, cache=cache)
-        entry = next((tmp_path / "c").glob("*.json"))
+        entry = next((tmp_path / "c").glob("??/*.json"))
         entry.write_text('{"not_a_record_field": 1}', encoding="utf-8")
         warm = run_batch(jobs, cache=ResultCache(tmp_path / "c"))
         assert warm.cache_hits == 0
         assert warm.cache_misses == 1
         assert warm.records[0].cycles > 0
+        # The rerun replaced the corrupt entry with a fresh record.
+        assert json.loads(entry.read_text(encoding="utf-8"))["cycles"] == warm.records[0].cycles
+
+    def test_corrupt_cache_entry_is_deleted_on_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        jobs = _jobs(methods=("ecmas_ls_min",))
+        run_batch(jobs, cache=cache)
+        entry = next((tmp_path / "c").glob("??/*.json"))
+        entry.write_text("{truncated", encoding="utf-8")
+        fresh = ResultCache(tmp_path / "c")
+        assert fresh.get(jobs[0]) is None
+        assert not entry.exists(), "corrupt entries must self-heal on the way to a miss"
 
     def test_cache_clear(self, tmp_path):
         cache = ResultCache(tmp_path / "c")
@@ -101,6 +125,101 @@ class TestRunBatch:
         assert cache.clear() == 1
         cold = run_batch(_jobs(methods=("ecmas_ls_min",)), cache=ResultCache(tmp_path / "c"))
         assert cold.cache_hits == 0
+
+    def test_streaming_records_match_direct_execution(self):
+        """The streaming engine's records equal per-job compiles (modulo wall-clock)."""
+
+        def key(record):
+            payload = asdict(record)
+            payload.pop("compile_seconds")
+            payload["extra"].pop("stages")
+            return payload
+
+        jobs = _jobs()
+        direct = [key(execute_job(job)) for job in jobs]
+        streamed = run_batch(jobs, workers=2)
+        assert [key(r) for r in streamed.records] == direct
+
+
+class TestResultCacheTiers:
+    def test_entries_are_sharded_by_fingerprint_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _jobs(methods=("ecmas_ls_min",))[0]
+        cache.put(job, execute_job(job))
+        key = job.fingerprint()
+        assert (tmp_path / "c" / key[:2] / f"{key}.json").is_file()
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["shards"] == 1
+        assert stats["bytes"] > 0
+
+    def test_legacy_flat_entries_are_still_served(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _jobs(methods=("ecmas_ls_min",))[0]
+        record = execute_job(job)
+        (tmp_path / "c").mkdir()
+        flat = tmp_path / "c" / f"{job.fingerprint()}.json"
+        flat.write_text(json.dumps(asdict(record), sort_keys=True), encoding="utf-8")
+        fresh = ResultCache(tmp_path / "c")
+        hit = fresh.get(job)
+        assert hit is not None and hit.cycles == record.cycles
+        assert fresh.stats()["entries"] == 1
+        assert fresh.clear() == 1
+
+    def test_memory_tier_serves_hits_without_disk(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _jobs(methods=("ecmas_ls_min",))[0]
+        record = execute_job(job)
+        cache.put(job, record)
+        assert cache.clear() == 1  # clears disk AND memory
+        assert cache.get(job) is None
+        cache.put(job, record)
+        for path in list((tmp_path / "c").glob("??/*.json")):
+            path.unlink()
+        hit = cache.get(job)  # served from the in-memory LRU tier
+        assert hit is not None and hit.cycles == record.cycles
+
+    def test_memory_tier_is_bounded(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", memory_limit=2)
+        jobs = _jobs()
+        for job in jobs:
+            cache.put(job, execute_job(job))
+        assert len(cache._memory) == 2
+        assert cache.stats()["memory_entries"] == 2
+        assert cache.stats()["entries"] == len(jobs)
+
+    def test_memory_tier_can_be_disabled(self, tmp_path):
+        cache = ResultCache(tmp_path / "c", memory_limit=0)
+        job = _jobs(methods=("ecmas_ls_min",))[0]
+        cache.put(job, execute_job(job))
+        assert len(cache._memory) == 0
+        assert cache.get(job) is not None  # disk tier still works
+
+    def test_prune_removes_only_old_entries(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        jobs = _jobs(methods=("ecmas_ls_min", "autobraid"))
+        for job in jobs:
+            cache.put(job, execute_job(job))
+        old = cache._path(jobs[0].fingerprint())
+        stale = time.time() - 10 * 86400
+        os.utime(old, (stale, stale))
+        assert cache.prune(older_than_seconds=7 * 86400) == 1
+        assert not old.exists()
+        assert cache.stats()["entries"] == 1
+
+    def test_default_cache_dir_reads_env_at_construction(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "late-bound"))
+        assert default_cache_dir() == tmp_path / "late-bound"
+        assert ResultCache().directory == tmp_path / "late-bound"
+        monkeypatch.delenv("REPRO_CACHE_DIR")
+        assert ResultCache().directory == default_cache_dir() != tmp_path / "late-bound"
+
+    def test_put_leaves_no_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        for job in _jobs():
+            cache.put(job, execute_job(job))
+        leftovers = [p for p in (tmp_path / "c").rglob("*") if p.suffix == ".tmp"]
+        assert leftovers == []
 
 
 class TestTableIntegration:
@@ -120,6 +239,12 @@ class TestTableIntegration:
         serial = table1_overview(suite=SMALL_SUITE[:2], jobs=1)
         parallel = table1_overview(suite=SMALL_SUITE[:2], jobs=2)
         assert parallel == serial
+
+    def test_table1_reports_progress(self, tmp_path):
+        snapshots = []
+        table1_overview(suite=SMALL_SUITE[:1], cache=tmp_path / "c", progress=snapshots.append)
+        assert snapshots[-1].finished == snapshots[-1].total == 7
+        assert snapshots[-1].done == 7 and snapshots[-1].failed == 0
 
 
 @pytest.mark.skipif((os.cpu_count() or 1) < 4, reason="needs a multi-core runner")

@@ -1,0 +1,156 @@
+"""Fault isolation, streaming persistence and resume semantics of run_batch.
+
+The streaming engine must never discard completed work: a job that raises
+becomes a structured :class:`~repro.pipeline.batch.BatchFailure` while its
+siblings finish and land in the cache, and an interrupted run warm-starts
+from everything already persisted.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.circuits.generators import standard
+from repro.pipeline.batch import BatchJob, BatchProgress, ResultCache, run_batch
+
+#: Resolves fine but guarantees an in-worker exception: the bipartite_prefix
+#: families accept any value at resolve time and fail inside the pipeline.
+CRASHING_METHOD = "cut_init:no_such_initialisation"
+
+GOOD_METHODS = ("autobraid", "ecmas_dd_min", "ecmas_ls_min")
+
+
+def _jobs(methods):
+    circuit = standard.ghz_state(8)
+    return [BatchJob(circuit=circuit, method=method) for method in methods]
+
+
+class TestFailureIsolation:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_one_failing_job_does_not_sink_the_batch(self, tmp_path, workers):
+        methods = (GOOD_METHODS[0], CRASHING_METHOD, *GOOD_METHODS[1:])
+        cache = ResultCache(tmp_path / "c")
+        result = run_batch(_jobs(methods), workers=workers, cache=cache)
+
+        assert not result.ok
+        assert len(result.failures) == 1
+        failure = result.failures[0]
+        assert failure.index == 1
+        assert failure.method == CRASHING_METHOD
+        assert failure.circuit == "ghz_state_n8"
+        assert "no_such_initialisation" in failure.error
+        assert "Traceback" in failure.traceback
+        assert failure.seconds >= 0.0
+
+        # Every sibling compiled, kept its slot, and was persisted.
+        assert result.records[1] is None
+        assert [r.method for r in result.records if r is not None] == list(GOOD_METHODS)
+        assert result.recompilations == len(GOOD_METHODS)
+        warm = run_batch(_jobs(GOOD_METHODS), cache=ResultCache(tmp_path / "c"))
+        assert warm.cache_hits == len(GOOD_METHODS)
+        assert warm.recompilations == 0
+
+    def test_failures_sorted_by_index(self, tmp_path):
+        methods = (CRASHING_METHOD, GOOD_METHODS[0], CRASHING_METHOD)
+        result = run_batch(_jobs(methods), workers=2, cache=ResultCache(tmp_path / "c"))
+        assert [f.index for f in result.failures] == [0, 2]
+        assert result.records[1] is not None
+
+
+class TestStreamingPersistence:
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_interrupted_run_resumes_from_completed_jobs(self, tmp_path, workers):
+        """Kill the run after two completions; the rerun recompiles the rest.
+
+        Records are persisted the moment they complete, so the interrupt
+        (raised from the progress callback, standing in for Ctrl-C / OOM)
+        loses only work still in flight — serial and pooled alike.
+        """
+        jobs = _jobs(GOOD_METHODS)
+        cache_dir = tmp_path / "c"
+
+        def interrupt_after_two(snapshot: BatchProgress) -> None:
+            if snapshot.done >= 2:
+                raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_batch(jobs, workers=workers, cache=cache_dir, progress=interrupt_after_two)
+
+        resumed = run_batch(jobs, cache=cache_dir)
+        assert resumed.cache_hits == 2, "completed jobs must have been persisted mid-run"
+        assert resumed.recompilations == len(jobs) - 2
+        assert [r.method for r in resumed.records] == list(GOOD_METHODS)
+
+    def test_progress_snapshots(self, tmp_path):
+        jobs = _jobs(GOOD_METHODS)
+        snapshots: list[BatchProgress] = []
+        run_batch(jobs, cache=tmp_path / "c", progress=snapshots.append)
+        # One snapshot after the cache scan, one per completion.
+        assert len(snapshots) == 1 + len(jobs)
+        assert snapshots[0].finished == 0 and snapshots[0].total == len(jobs)
+        assert snapshots[-1].done == len(jobs)
+        assert snapshots[-1].finished == snapshots[-1].total
+
+        warm: list[BatchProgress] = []
+        run_batch(jobs, cache=tmp_path / "c", progress=warm.append)
+        assert warm[0].cached == len(jobs)
+        assert warm[-1].finished == len(jobs) and warm[-1].done == 0
+
+    def test_progress_counts_failures(self):
+        snapshots: list[BatchProgress] = []
+        result = run_batch(_jobs((GOOD_METHODS[0], CRASHING_METHOD)), progress=snapshots.append)
+        assert snapshots[-1].failed == 1
+        assert snapshots[-1].done == 1
+        assert not result.ok
+        # The failure event carries the BatchFailure; success events do not.
+        carried = [s.last_failure for s in snapshots if s.last_failure is not None]
+        assert [f.method for f in carried] == [CRASHING_METHOD]
+
+    def test_figure_sweep_aborts_with_failure_detail(self, monkeypatch):
+        """A failed figure job must surface its error, not skew group means."""
+        from repro.chip.geometry import SurfaceCodeModel
+        from repro.errors import ReproError
+        from repro.eval import figures
+
+        monkeypatch.setitem(
+            figures.__dict__, "run_batch", lambda *a, **k: run_batch(_jobs((CRASHING_METHOD,)))
+        )
+        with pytest.raises(ReproError, match="no_such_initialisation"):
+            figures.figure11_parallelism(
+                SurfaceCodeModel.DOUBLE_DEFECT, parallelisms=(1,), group_size=1
+            )
+
+
+class TestSharedCacheDirectory:
+    def test_concurrent_batches_write_valid_records(self, tmp_path):
+        """Two runs racing on one directory must interleave without corruption."""
+        cache_dir = tmp_path / "c"
+        jobs = _jobs(GOOD_METHODS)
+        errors: list[BaseException] = []
+
+        def worker():
+            try:
+                run_batch(jobs, cache=ResultCache(cache_dir))
+            except BaseException as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+
+        entries = sorted(cache_dir.glob("??/*.json"))
+        assert len(entries) == len(jobs)
+        for entry in entries:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            assert payload["cycles"] > 0
+        leftovers = [p for p in cache_dir.rglob("*.tmp")]
+        assert leftovers == []
+
+        warm = run_batch(jobs, cache=ResultCache(cache_dir))
+        assert warm.cache_hits == len(jobs)

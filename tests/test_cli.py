@@ -131,6 +131,98 @@ def test_suite_command(capsys):
     assert "quantum_walk_n11" in capsys.readouterr().out
 
 
+def test_batch_command_with_progress_and_cache(tmp_path, capsys):
+    args = ["batch", "dnn_n8", "--methods", "autobraid,ecmas_dd_min",
+            "--cache-dir", str(tmp_path / "c"), "--progress"]
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert "Batch results" in captured.out
+    assert "2 compiled, 0 cached, 0 failed" in captured.err
+    # Warm rerun: everything served from the cache, reported live.
+    assert main(args) == 0
+    captured = capsys.readouterr()
+    assert "0 compiled, 2 cached, 0 failed" in captured.err
+
+
+def test_batch_command_rejects_unknown_method_before_the_pool(capsys):
+    assert main(["batch", "dnn_n8", "--methods", "autobraid,not_a_method"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown evaluation method(s): not_a_method" in err
+
+
+def test_batch_command_reports_failures_and_exits_nonzero(tmp_path, capsys):
+    assert main([
+        "batch", "dnn_n8", "--methods", "autobraid,cut_init:bogus",
+        "--cache-dir", str(tmp_path / "c"),
+    ]) == 1
+    captured = capsys.readouterr()
+    assert "autobraid" in captured.out  # the sibling record still printed
+    assert "failed: dnn_n8 x cut_init:bogus" in captured.err
+
+
+def test_negative_jobs_is_a_clean_error(capsys):
+    assert main(["batch", "dnn_n8", "--methods", "autobraid", "--jobs", "-3"]) == 2
+    assert "error: workers must be a positive integer" in capsys.readouterr().err
+    assert main(["table", "4", "--jobs", "-3"]) == 2
+    assert "error: workers must be a positive integer" in capsys.readouterr().err
+
+
+def test_table_command_names_failed_cells(tmp_path, monkeypatch, capsys):
+    from repro import cli
+    from repro.circuits.generators import get_benchmark
+    from repro.eval import table1_overview
+
+    suite = [get_benchmark("dnn_n8")]
+
+    def builder(jobs=1, cache=None, engine="reference", progress=None):
+        return table1_overview(
+            suite=suite,
+            methods=("autobraid", "cut_init:bogus"),
+            jobs=jobs,
+            cache=cache,
+            engine=engine,
+            progress=progress,
+        )
+
+    monkeypatch.setitem(cli._TABLES, "1", (builder, "Table I (test)"))
+    assert main(["table", "1", "--cache-dir", str(tmp_path / "c")]) == 1
+    captured = capsys.readouterr()
+    assert "-" in captured.out  # the failed cell renders as a hole, not a crash
+    assert "failed cell: dnn_n8 x cut_init:bogus" in captured.err
+    assert "1 cell(s) failed to compile" in captured.err
+
+
+def test_cache_stats_clear_and_prune(tmp_path, capsys):
+    cache_dir = str(tmp_path / "c")
+    assert main(["batch", "dnn_n8", "--methods", "autobraid", "--cache-dir", cache_dir]) == 0
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "entries   : 1" in out
+    assert "shards    : 1" in out
+
+    assert main(["cache", "prune", "--older-than", "7", "--cache-dir", cache_dir]) == 0
+    assert "pruned 0 record(s)" in capsys.readouterr().out
+
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "removed 1 cached record(s)" in capsys.readouterr().out
+    assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+    assert "entries   : 0" in capsys.readouterr().out
+
+
+def test_cache_prune_rejects_negative_cutoff(tmp_path, capsys):
+    assert main(["cache", "prune", "--older-than", "-1",
+                 "--cache-dir", str(tmp_path / "c")]) == 2
+    assert "non-negative" in capsys.readouterr().err
+
+
+def test_cache_dir_defaults_to_env_var_at_run_time(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "late"))
+    assert main(["cache", "stats"]) == 0
+    assert str(tmp_path / "late") in capsys.readouterr().out
+
+
 def test_unknown_benchmark_returns_error(capsys):
     assert main(["profile", "not_a_benchmark"]) == 2
     assert "error:" in capsys.readouterr().err

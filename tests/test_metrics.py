@@ -12,6 +12,7 @@ from repro.core.metrics import (
     has_sufficient_resources,
     para_finding,
 )
+from repro.errors import SchedulingError
 
 DD = SurfaceCodeModel.DOUBLE_DEFECT
 
@@ -75,6 +76,30 @@ def test_dnn_parallelism_matches_construction():
 def test_layer_of_lookup(parallel_circuit):
     scheme = para_finding(parallel_circuit.dag())
     assert scheme.layer_of(scheme.layers[0][0]) == 0
+
+
+def _layer_of_by_linear_scan(scheme, node):
+    """The pre-cache reference implementation of ``layer_of``."""
+    for index, layer in enumerate(scheme.layers):
+        if node in layer:
+            return index
+    raise SchedulingError(f"gate node {node} missing from execution scheme")
+
+
+def test_layer_of_map_matches_linear_scan():
+    """The cached node→layer map is a pure speedup: parity on every node."""
+    for seed in range(3):
+        circuit = random_parallel_circuit(20, 15, 4, seed=seed)
+        dag = circuit.dag()
+        scheme = para_finding(dag)
+        for node in range(len(dag)):
+            assert scheme.layer_of(node) == _layer_of_by_linear_scan(scheme, node)
+
+
+def test_layer_of_missing_node_still_raises(parallel_circuit):
+    scheme = para_finding(parallel_circuit.dag())
+    with pytest.raises(SchedulingError, match="missing from execution scheme"):
+        scheme.layer_of(10_000)
 
 
 def test_chip_communication_capacity_matches_formula():
