@@ -27,6 +27,14 @@ Commands
 ``cache``
     Inspect or clean the on-disk result cache: ``stats`` (entries, bytes,
     shards), ``clear``, and ``prune --older-than DAYS``.
+``serve``
+    Run the persistent compile daemon: a local HTTP+JSON API
+    (``/compile``, ``/batch``, ``/jobs/<id>``, ``/healthz``, ``/stats``)
+    that keeps per-chip routing state warm across requests and serves
+    repeats from the result cache.  See ``docs/http-api.md``.
+``submit``
+    Submit a compile request to a running daemon and print the result —
+    the client half of ``serve``.
 ``suite``
     List the built-in benchmark circuits and their statistics.
 """
@@ -51,9 +59,9 @@ from repro.eval import (
     table5_cut_scheduling,
 )
 from repro.pipeline.batch import (
-    BatchJob,
     BatchProgress,
     ResultCache,
+    build_batch_jobs,
     run_batch,
 )
 from repro.pipeline.registry import run_pipeline_method, validate_methods
@@ -255,19 +263,16 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise ReproError("--methods needs at least one method name")
     validate_methods(methods)  # a typo must fail fast, not per job in the pool
     _check_jobs(args.jobs)
-    circuits = {spec: _load_circuit(spec) for spec in args.circuits}
-    jobs = [
-        BatchJob(
-            circuit=circuits[spec],
-            method=method,
-            circuit_name=spec,
-            code_distance=args.code_distance,
-            validate=args.validate,
-            engine=args.engine,
-        )
-        for spec in args.circuits
-        for method in methods
-    ]
+    # Load each distinct spec once; duplicates in the argument list still
+    # produce one job per occurrence, as before.
+    circuits = {spec: _load_circuit(spec) for spec in dict.fromkeys(args.circuits)}
+    jobs = build_batch_jobs(
+        [(spec, circuits[spec]) for spec in args.circuits],
+        methods,
+        code_distance=args.code_distance,
+        validate=args.validate,
+        engine=args.engine,
+    )
     cache = _make_cache(args)
     reporter = _ProgressReporter(echo=args.progress)
     result = run_batch(jobs, workers=args.jobs, cache=cache, progress=reporter)
@@ -322,6 +327,82 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         )
         return 0
     raise ReproError(f"unknown cache command {args.cache_command!r}")  # pragma: no cover
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import create_server
+
+    _check_jobs(args.jobs)
+    cache = _make_cache(args)
+    try:
+        server = create_server(
+            host=args.host,
+            port=args.port,
+            cache=cache,
+            workers=args.jobs,
+            warm_chips=args.warm_chips,
+            quiet=args.quiet,
+        )
+    except OSError as exc:
+        raise ReproError(f"cannot bind {args.host}:{args.port}: {exc}") from None
+    except ValueError as exc:  # e.g. --warm-chips 0
+        raise ReproError(str(exc)) from None
+    host, port = server.server_address[:2]
+    print(f"repro compile daemon listening on http://{host}:{port}", file=sys.stderr)
+    print(
+        f"cache: {cache.directory if cache is not None else 'disabled'}; "
+        f"warm chips: {args.warm_chips}; batch workers: {server.service.workers}",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    request: dict = {
+        "method": args.method,
+        "engine": args.engine,
+        "code_distance": args.code_distance,
+        "validate": args.validate,
+        "use_cache": not args.no_cache,
+        "wait": True,
+        "timeout_seconds": args.timeout,
+    }
+    if args.circuit.endswith(".qasm"):
+        from pathlib import Path
+
+        try:
+            request["qasm"] = Path(args.circuit).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.circuit}: {exc}") from None
+        request["name"] = args.circuit
+    else:
+        request["circuit"] = args.circuit
+    job = client.compile(**request)
+    if job["status"] != "done":
+        error = job.get("error") or {}
+        raise ReproError(
+            f"job {job['job_id']} {job['status']}: "
+            f"{error.get('detail') or error.get('error') or 'not finished in time'}"
+        )
+    record = job["result"]
+    print(f"job             : {job['job_id']}")
+    print(f"circuit         : {record['circuit']}")
+    print(f"method          : {record['method']}")
+    print(f"chip            : {record['chip']}")
+    print(f"cycles          : {record['cycles']}")
+    print(f"CNOTs scheduled : {record['num_cnots']}")
+    print(f"compile time    : {record['compile_seconds'] * 1000:.1f} ms")
+    print(f"served from     : {'result cache' if record.get('cached') else 'fresh compile'}")
+    return 0
 
 
 def _cmd_suite(args: argparse.Namespace) -> int:
@@ -483,6 +564,66 @@ def build_parser() -> argparse.ArgumentParser:
     for cache_parser in (cache_stats, cache_clear, cache_prune):
         _add_cache_dir_flag(cache_parser)
         cache_parser.set_defaults(func=_cmd_cache)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the persistent compile daemon (HTTP+JSON; see docs/http-api.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default 127.0.0.1)")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8752,
+        help="TCP port (default 8752; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for /batch fan-out (1 keeps every compile in the "
+        "daemon process where the warm chip state lives; 0 = one per CPU)",
+    )
+    serve.add_argument(
+        "--warm-chips",
+        type=int,
+        default=8,
+        metavar="N",
+        help="how many distinct chips to keep warm (routing graph + landmark "
+        "tables) in the LRU (default 8)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="serve without the on-disk result cache"
+    )
+    _add_cache_dir_flag(serve)
+    serve.add_argument("--quiet", action="store_true", help="suppress per-request access logs")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a compile to a running daemon and print the result"
+    )
+    submit.add_argument("circuit", help="QASM file path or built-in benchmark name")
+    submit.add_argument(
+        "--method",
+        default="ecmas",
+        help="'ecmas' (default) or an evaluation method name such as autobraid / edpci_min",
+    )
+    _add_engine_flag(submit)
+    submit.add_argument("--code-distance", type=int, default=3, metavar="D")
+    submit.add_argument("--validate", action="store_true", help="validate the schedule server-side")
+    submit.add_argument(
+        "--no-cache", action="store_true", help="bypass the daemon's result cache"
+    )
+    submit.add_argument("--host", default="127.0.0.1", help="daemon address (default 127.0.0.1)")
+    submit.add_argument("--port", type=int, default=8752, help="daemon port (default 8752)")
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        metavar="S",
+        help="give up after S seconds (default 120)",
+    )
+    submit.set_defaults(func=_cmd_submit)
 
     suite = sub.add_parser("suite", help="list the built-in benchmark circuits")
     suite.add_argument("--large", action="store_true", help="include the very large circuits")

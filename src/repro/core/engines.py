@@ -5,10 +5,24 @@ Both :class:`~repro.core.scheduler_dd.DoubleDefectScheduler` and
 ``engine`` argument naming their hot-path implementation; the pipeline's
 scheduler-selection pass validates the same names.  Keeping the contract
 here avoids coupling the two concrete schedulers to each other.
+
+This module is also the *routing acquisition* seam: every scheduler obtains
+its :class:`~repro.chip.routing_graph.RoutingGraph` (and, on the fast engine,
+its :class:`~repro.routing.fast_router.FastRouter`) through
+:func:`routing_for`, which consults an installable provider.  Long-lived
+processes — the compile daemon in :mod:`repro.service` — install a provider
+backed by an LRU of warm per-chip state so that repeated compiles against the
+same chip reuse the graph and the router's memoized landmark tables instead
+of rebuilding them from cold.  One-shot callers never notice: with no
+provider installed, :func:`routing_for` builds fresh state exactly as the
+schedulers used to.
 """
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
+from repro.chip.chip import Chip
 from repro.chip.routing_graph import Node, RoutingGraph
 from repro.errors import SchedulingError
 from repro.routing.fast_router import FastRouter
@@ -17,6 +31,14 @@ from repro.routing.router import find_path
 
 #: The recognised Algorithm 1 engine names.
 ENGINES = ("reference", "fast")
+
+#: A routing provider maps ``(chip, engine)`` to a ``(graph, router)`` pair;
+#: ``router`` is ``None`` on the reference engine.  Both returned objects are
+#: immutable-after-construction (the FastRouter only grows memo tables), so a
+#: provider may hand the same instances to any number of sequential compiles.
+RoutingProvider = Callable[[Chip, str], "tuple[RoutingGraph, FastRouter | None]"]
+
+_routing_provider: RoutingProvider | None = None
 
 
 def check_engine(engine: str) -> str:
@@ -29,6 +51,32 @@ def check_engine(engine: str) -> str:
 def build_router(graph: RoutingGraph, engine: str) -> FastRouter | None:
     """The fast engine's router for ``graph``, or ``None`` on the reference engine."""
     return FastRouter(graph) if engine == "fast" else None
+
+
+def set_routing_provider(provider: RoutingProvider | None) -> RoutingProvider | None:
+    """Install (or with ``None`` clear) the process-wide routing provider.
+
+    Returns the previous provider so callers can restore it; see
+    :class:`repro.service.state.WarmStateCache` for the canonical user.
+    """
+    global _routing_provider
+    previous = _routing_provider
+    _routing_provider = provider
+    return previous
+
+
+def routing_for(chip: Chip, engine: str) -> tuple[RoutingGraph, FastRouter | None]:
+    """The routing graph and router a scheduler should use for ``chip``.
+
+    Delegates to the installed provider when there is one (warm-state reuse
+    in daemon processes) and otherwise builds fresh state.  The result is
+    always semantically identical either way: graphs are value-determined by
+    the chip, and router memo tables only cache derived data.
+    """
+    if _routing_provider is not None:
+        return _routing_provider(chip, engine)
+    graph = RoutingGraph(chip)
+    return graph, build_router(graph, engine)
 
 
 def route_query(

@@ -22,7 +22,8 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.chip.geometry import SurfaceCodeModel
-from repro.chip.routing_graph import RoutingGraph, tile_node_for
+from repro.chip.routing_graph import tile_node_for
+from repro.core.engines import routing_for
 from repro.circuits.circuit import Circuit
 from repro.circuits.dag import GateDAG
 from repro.core.cut_types import CutAssignment, CutType
@@ -128,7 +129,7 @@ class _LayerRouter:
     def __init__(self, dag: GateDAG, mapping: InitialMapping, congestion_weight: float = 0.25):
         self._dag = dag
         self._mapping = mapping
-        self._graph = RoutingGraph(mapping.chip)
+        self._graph, _ = routing_for(mapping.chip, "reference")
         self._congestion_weight = congestion_weight
 
     def _describe_gates(self, nodes: list[int]) -> str:

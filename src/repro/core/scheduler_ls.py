@@ -25,9 +25,9 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.chip.geometry import SurfaceCodeModel
-from repro.chip.routing_graph import Node, RoutingGraph, tile_node_for
+from repro.chip.routing_graph import Node, tile_node_for
 from repro.circuits.circuit import Circuit
-from repro.core.engines import build_router, check_engine, route_query, stalled_schedule_error
+from repro.core.engines import check_engine, route_query, routing_for, stalled_schedule_error
 from repro.core.incremental import IncrementalReadyQueue
 from repro.core.mapping import InitialMapping
 from repro.core.priorities import PriorityFunction, criticality_priority
@@ -61,8 +61,7 @@ class LatticeSurgeryScheduler:
         self._max_cycles = max_cycles
         # A DAG precomputed by the pipeline's profile pass is reused as-is.
         self._dag = dag if dag is not None else circuit.dag()
-        self._graph = RoutingGraph(mapping.chip)
-        self._router = build_router(self._graph, self._engine)
+        self._graph, self._router = routing_for(mapping.chip, self._engine)
         self.counters = EngineCounters()
 
     def _find_path(self, usage: CapacityUsage, source: Node, target: Node) -> RoutedPath | None:

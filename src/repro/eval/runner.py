@@ -60,6 +60,25 @@ class ExperimentRecord:
         """Per-stage compile-time breakdown (empty for legacy records)."""
         return self.extra.get("stages", {})
 
+    def to_dict(self) -> dict:
+        """JSON-able representation — the cache's and the HTTP API's wire format.
+
+        The inverse of :meth:`from_dict`; both the batch :class:`ResultCache
+        <repro.pipeline.batch.ResultCache>` and the compile service serialise
+        records through this single pair, so an entry written by one layer is
+        always readable by the other.
+        """
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentRecord":
+        """Rebuild a record from :meth:`to_dict` output (raises on bad shapes)."""
+        if not isinstance(payload, dict):
+            raise TypeError(f"record payload must be an object, got {type(payload).__name__}")
+        return cls(**payload)
+
 
 def compile_with_method(
     circuit: Circuit,
@@ -72,6 +91,38 @@ def compile_with_method(
     return run_pipeline_method(
         circuit, method, chip=chip, code_distance=code_distance, options=options
     ).encoded
+
+
+def record_from_result(
+    result,
+    circuit: Circuit,
+    method: str,
+    circuit_name: str | None = None,
+    paper_cycles: int | None = None,
+) -> ExperimentRecord:
+    """Measure a finished :class:`~repro.pipeline.framework.PipelineResult`.
+
+    The single place a pipeline outcome becomes an :class:`ExperimentRecord`
+    — :func:`run_method` (tables, figures, batch engine) and the compile
+    service's schedule-inlining path both build their records here, so the
+    two layers can never disagree about the record shape.
+    """
+    encoded = result.encoded
+    extra = {"stages": result.timings_dict(), "engine": result.engine}
+    if result.counters is not None:
+        extra["counters"] = result.counters
+    return ExperimentRecord(
+        circuit=circuit_name or circuit.name,
+        method=method,
+        num_qubits=circuit.num_qubits,
+        alpha=circuit.depth(),
+        num_cnots=circuit.num_cnots,
+        cycles=encoded.num_cycles,
+        compile_seconds=result.compile_seconds,
+        chip=encoded.chip.describe(),
+        paper_cycles=paper_cycles,
+        extra=extra,
+    )
 
 
 def run_method(
@@ -97,19 +148,6 @@ def run_method(
         engine=engine,
         defects=defects,
     )
-    encoded = result.encoded
-    extra = {"stages": result.timings_dict(), "engine": engine}
-    if result.counters is not None:
-        extra["counters"] = result.counters
-    return ExperimentRecord(
-        circuit=circuit_name or circuit.name,
-        method=method,
-        num_qubits=circuit.num_qubits,
-        alpha=circuit.depth(),
-        num_cnots=circuit.num_cnots,
-        cycles=encoded.num_cycles,
-        compile_seconds=result.compile_seconds,
-        chip=encoded.chip.describe(),
-        paper_cycles=paper_cycles,
-        extra=extra,
+    return record_from_result(
+        result, circuit, method, circuit_name=circuit_name, paper_cycles=paper_cycles
     )

@@ -132,6 +132,7 @@ def recursive_bisection_placement(
 def alive_in_window(
     row_lo: int, row_hi: int, col_lo: int, col_hi: int, dead: frozenset[tuple[int, int]]
 ) -> int:
+    """Number of non-dead tile slots in the half-open window ``[lo, hi)``."""
     total = (row_hi - row_lo) * (col_hi - col_lo)
     if not dead:
         return total

@@ -17,6 +17,9 @@ from repro.pipeline.batch import (
     BatchProgress,
     BatchResult,
     ResultCache,
+    build_batch_jobs,
+    chip_key,
+    circuit_key,
     default_cache_dir,
     execute_job,
     resolve_workers,
@@ -42,7 +45,9 @@ from repro.pipeline.passes import (
 )
 from repro.pipeline.registry import (
     MethodSpec,
+    ablation_families,
     build_pipeline,
+    method_catalog,
     register_method,
     registered_methods,
     resolve_method,
@@ -67,6 +72,8 @@ __all__ = [
     "SchedulePass",
     "ValidatePass",
     "MethodSpec",
+    "ablation_families",
+    "method_catalog",
     "standard_passes",
     "register_method",
     "registered_methods",
@@ -79,6 +86,9 @@ __all__ = [
     "BatchProgress",
     "BatchResult",
     "ResultCache",
+    "build_batch_jobs",
+    "chip_key",
+    "circuit_key",
     "default_cache_dir",
     "run_batch",
     "execute_job",

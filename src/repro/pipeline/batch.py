@@ -108,10 +108,10 @@ class BatchJob:
         payload = {
             "v": CACHE_FORMAT_VERSION,
             "repro": __version__,
-            "circuit": _circuit_key(self.circuit),
+            "circuit": circuit_key(self.circuit),
             "method": self.method,
             "code_distance": self.code_distance,
-            "chip": _chip_key(self.chip),
+            "chip": chip_key(self.chip),
             "options": asdict(self.options) if self.options is not None else None,
             "validate": self.validate,
             "engine": self.engine,
@@ -121,14 +121,26 @@ class BatchJob:
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def _circuit_key(circuit: Circuit) -> list:
+def circuit_key(circuit: Circuit) -> list:
+    """JSON-able content key of a circuit: qubit count plus the full gate list.
+
+    Shared by the batch-cache fingerprint and the service layer's warm-state
+    bookkeeping — two circuits with equal keys compile identically.
+    """
     return [
         circuit.num_qubits,
         [[g.name, list(g.qubits), list(g.params)] for g in circuit],
     ]
 
 
-def _chip_key(chip: Chip | None) -> list | None:
+def chip_key(chip: Chip | None) -> list | None:
+    """JSON-able content key of a chip (``None`` for "method default chip").
+
+    Covers everything that affects compilation: model, code distance, tile
+    array, corridor bandwidths, side length and the defect spec.  The service
+    layer keys its warm per-chip state (routing graph, landmark tables) by
+    this same value, so cache identity and warm-state identity never drift.
+    """
     if chip is None:
         return None
     return [
@@ -140,6 +152,42 @@ def _chip_key(chip: Chip | None) -> list | None:
         list(chip.v_bandwidths),
         chip.side,
         chip.defects.key(),
+    ]
+
+
+def build_batch_jobs(
+    circuits: "list[tuple[str, Circuit]]",
+    methods: list[str],
+    *,
+    code_distance: int = 3,
+    validate: bool = False,
+    engine: str = "reference",
+    chip: Chip | None = None,
+    options: EcmasOptions | None = None,
+    defects: DefectSpec | None = None,
+) -> list[BatchJob]:
+    """Construct the circuits × methods job matrix shared by the CLI and service.
+
+    ``circuits`` is a list of ``(name, circuit)`` pairs; the job list is
+    ordered circuit-major (every method of the first circuit, then the
+    second…), matching the historical ``repro batch`` output order.  All
+    remaining knobs apply uniformly to every job, which is exactly the shape
+    of a ``/batch`` request.
+    """
+    return [
+        BatchJob(
+            circuit=circuit,
+            method=method,
+            circuit_name=name,
+            code_distance=code_distance,
+            chip=chip,
+            options=options,
+            validate=validate,
+            engine=engine,
+            defects=defects,
+        )
+        for name, circuit in circuits
+        for method in methods
     ]
 
 
@@ -209,7 +257,7 @@ class ResultCache:
         if text is not None:
             # The memory tier only ever holds text that parsed successfully.
             self._memory.move_to_end(key)
-            record = ExperimentRecord(**json.loads(text))
+            record = ExperimentRecord.from_dict(json.loads(text))
         else:
             for path in (self._path(key), self._legacy_path(key)):
                 try:
@@ -217,7 +265,7 @@ class ResultCache:
                 except OSError:
                     continue
                 try:
-                    record = ExperimentRecord(**json.loads(text))
+                    record = ExperimentRecord.from_dict(json.loads(text))
                 except (ValueError, TypeError):
                     # Corrupt or schema-skewed entries self-heal: delete the
                     # unreadable file on the way to a miss so the rerun's
@@ -241,7 +289,7 @@ class ResultCache:
         key = job.fingerprint()
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        text = json.dumps(asdict(record), sort_keys=True)
+        text = json.dumps(record.to_dict(), sort_keys=True)
         # A per-writer unique temp name: processes sharing a cache directory
         # must not interleave writes through one well-known tmp file.
         tmp = path.parent / f".{key}.{os.getpid()}.{os.urandom(4).hex()}.tmp"
@@ -277,8 +325,25 @@ class ResultCache:
         self._drop_empty_shards()
         return removed
 
+    def counters(self) -> dict:
+        """The in-memory counters only — O(1), safe to poll on a hot path.
+
+        Unlike :meth:`stats`, this never touches the disk tier, so a
+        monitoring endpoint can call it per-scrape even over a
+        million-record cache directory.
+        """
+        return {
+            "directory": str(self.directory),
+            "memory_entries": len(self._memory),
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
     def stats(self) -> dict:
-        """Entry/size/shard counters for ``repro cache stats`` and monitoring."""
+        """Entry/size/shard counters for ``repro cache stats`` and monitoring.
+
+        Walks (and ``stat``\\ s) every entry file, so cost scales with the
+        cache size; prefer :meth:`counters` for frequent polling."""
         entries = 0
         total_bytes = 0
         for path in self._entry_paths():
@@ -333,6 +398,7 @@ class BatchProgress:
 
     @property
     def finished(self) -> int:
+        """Jobs resolved so far, by any means (compiled, cached or failed)."""
         return self.done + self.failed + self.cached
 
 

@@ -90,11 +90,13 @@ class PassContext:
     artifacts: dict = field(default_factory=dict)
 
     def require_chip(self) -> Chip:
+        """The target chip (raises :class:`PipelineError` before BuildChip)."""
         if self.chip is None:
             raise PipelineError("no chip in context — run BuildChip first")
         return self.chip
 
     def require_dag(self) -> GateDAG:
+        """The CNOT DAG (raises :class:`PipelineError` before ProfileCircuit)."""
         if self.dag is None:
             raise PipelineError("no gate DAG in context — run ProfileCircuit first")
         return self.dag
@@ -114,16 +116,19 @@ class PassContext:
         return self.parallelism
 
     def require_comm_graph(self) -> CommunicationGraph:
+        """The communication graph (raises :class:`PipelineError` before ProfileCircuit)."""
         if self.comm_graph is None:
             raise PipelineError("no communication graph in context — run ProfileCircuit first")
         return self.comm_graph
 
     def require_mapping(self) -> InitialMapping:
+        """The assembled mapping (raises :class:`PipelineError` before BandwidthAdjust)."""
         if self.mapping is None:
             raise PipelineError("no initial mapping in context — run BandwidthAdjust first")
         return self.mapping
 
     def require_encoded(self) -> EncodedCircuit:
+        """The scheduled circuit (raises :class:`PipelineError` before Schedule)."""
         if self.encoded is None:
             raise PipelineError("no encoded circuit in context — run Schedule first")
         return self.encoded
@@ -141,6 +146,7 @@ class Pass:
     counts_as_compile: bool = True
 
     def run(self, ctx: PassContext) -> None:
+        """Transform ``ctx`` in place (implemented by each concrete pass)."""
         raise NotImplementedError
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -214,9 +220,11 @@ class Pipeline:
 
     @property
     def passes(self) -> tuple[Pass, ...]:
+        """The pass instances, in execution order."""
         return self._passes
 
     def pass_names(self) -> tuple[str, ...]:
+        """The pass names, in execution order."""
         return tuple(p.name for p in self._passes)
 
     def replace(self, name: str, replacement: Pass) -> "Pipeline":

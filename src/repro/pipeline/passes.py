@@ -71,6 +71,7 @@ class ProfileCircuitPass(Pass):
     name = "profile"
 
     def run(self, ctx: PassContext) -> None:
+        """Derive the DAG and communication graph into ``ctx``."""
         circuit = ctx.circuit
         ctx.dag = circuit.dag()
         ctx.comm_graph = circuit.communication_graph()
@@ -94,6 +95,7 @@ class BuildChipPass(Pass):
         self._error = error
 
     def run(self, ctx: PassContext) -> None:
+        """Materialise (or degrade) the target chip on ``ctx``."""
         if self._model is not None:
             ctx.model = self._model
             if ctx.chip is not None and ctx.chip.model is not self._model:
@@ -136,6 +138,7 @@ class InitCutTypesPass(Pass):
         self._initialisation = initialisation
 
     def run(self, ctx: PassContext) -> None:
+        """Assign initial cut types for the double defect model."""
         if ctx.model is not SurfaceCodeModel.DOUBLE_DEFECT:
             ctx.cut_types = None
             return
@@ -163,6 +166,7 @@ class InitialMappingPass(Pass):
         self._attempts = attempts
 
     def run(self, ctx: PassContext) -> None:
+        """Determine the tile-array shape and place the qubits."""
         chip = ctx.require_chip()
         graph = ctx.require_comm_graph()
         strategy = self._strategy or ctx.options.placement_strategy
@@ -194,6 +198,7 @@ class BandwidthAdjustPass(Pass):
         self._enabled = enabled
 
     def run(self, ctx: PassContext) -> None:
+        """Redistribute corridor lanes and assemble the mapping."""
         chip = ctx.require_chip()
         if ctx.placement is None or ctx.shape is None or ctx.mapping_cost is None:
             raise SchedulingError("no placement in context — run InitialMapping first")
@@ -258,6 +263,7 @@ class SelectSchedulerPass(Pass):
         self._engine = engine
 
     def run(self, ctx: PassContext) -> None:
+        """Resolve the scheduler choice and strategy functions onto ``ctx``."""
         ctx.engine = check_engine(self._engine or ctx.engine)
         scheduler = self._scheduler or ctx.scheduler
         if scheduler == "auto":
@@ -305,6 +311,7 @@ class SchedulePass(Pass):
     name = "schedule"
 
     def run(self, ctx: PassContext) -> None:
+        """Run the selected scheduler; stores ``ctx.encoded`` (and counters)."""
         mapping = ctx.require_mapping()
         if ctx.use_resu is None or ctx.priority_fn is None or ctx.cut_strategy_fn is None:
             raise SchedulingError("scheduler not selected — run SelectScheduler first")
@@ -357,6 +364,7 @@ class ValidatePass(Pass):
     counts_as_compile = False
 
     def run(self, ctx: PassContext) -> None:
+        """Replay the schedule through the validator when requested."""
         if not ctx.validate:
             return
         from repro.verify import validate_encoded_circuit

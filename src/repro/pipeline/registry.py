@@ -153,6 +153,33 @@ def registered_methods() -> tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+def ablation_families() -> tuple[str, ...]:
+    """The parameterised method families (``location``, ``cut_init``, …), sorted."""
+    return tuple(sorted(_ABLATIONS))
+
+
+def method_catalog() -> dict:
+    """A JSON-able catalogue of every compile configuration this build knows.
+
+    Served by the compile daemon (``GET /stats``) and embedded in the docs
+    site's API reference, so clients can discover valid ``method`` values
+    without parsing error messages.  Plain methods list their registered
+    model / resource / scheduler configuration; ablation families list the
+    name grammar (``<family>:<value>``).
+    """
+    return {
+        "methods": {
+            name: {
+                "model": spec.model.value,
+                "resources": spec.resources,
+                "scheduler": spec.scheduler,
+            }
+            for name, spec in sorted(_REGISTRY.items())
+        },
+        "ablation_families": [f"{family}:<value>" for family in ablation_families()],
+    }
+
+
 register_method(MethodSpec("ecmas", DD, standard_passes))
 for _name, _model, _resources, _scheduler in (
     ("ecmas_dd_min", DD, "minimum", "limited"),

@@ -81,6 +81,16 @@ class FastRouter:
         """The routing graph this router serves."""
         return self._graph
 
+    @property
+    def landmark_table_count(self) -> int:
+        """How many per-target landmark tables have been memoized so far."""
+        return len(self._landmarks)
+
+    @property
+    def static_path_count(self) -> int:
+        """How many unloaded-graph canonical paths have been cached so far."""
+        return len(self._static_paths)
+
     # ------------------------------------------------------------- landmarks
     def distances_to(self, target: Node) -> dict[Node, int]:
         """Static hop distance of every reachable node to ``target``.

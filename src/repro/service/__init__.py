@@ -1,0 +1,59 @@
+"""Compile-as-a-service: a persistent daemon over the Ecmas pipeline.
+
+After four PRs of one-shot CLI entry points, this package adds the long-lived
+execution mode the ROADMAP's "serve heavy traffic" north star needs: a local
+HTTP+JSON daemon (stdlib only) that keeps per-chip compile state warm across
+requests instead of rebuilding chips, routing graphs and landmark tables from
+cold on every invocation.
+
+* :mod:`repro.service.schema` — the frozen, versioned wire format
+  (:data:`~repro.service.schema.API_VERSION`), request validation and result
+  serialisation; the docs site's API reference is generated from it.
+* :mod:`repro.service.state` — the warm per-chip LRU installed as the
+  process-wide routing provider.
+* :mod:`repro.service.jobs` — the job queue (``queued → running →
+  done | failed``) behind ``/jobs/<id>``.
+* :mod:`repro.service.service` — :class:`CompileService`, binding schema to
+  the batch engine and the streaming result cache.
+* :mod:`repro.service.server` — the HTTP endpoints ``/compile``, ``/batch``,
+  ``/jobs/<id>``, ``/healthz``, ``/stats``.
+* :mod:`repro.service.client` — a stdlib client (used by ``repro submit``).
+
+Start a daemon with ``python -m repro serve`` and talk to it with
+``python -m repro submit`` or any HTTP client; see ``docs/http-api.md``.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import JobManager, ServiceJob
+from repro.service.schema import (
+    API_VERSION,
+    BatchRequest,
+    CompileRequest,
+    SchemaError,
+    parse_batch_request,
+    parse_compile_request,
+    schedule_payload,
+)
+from repro.service.server import ServiceServer, create_server
+from repro.service.service import CompileService
+from repro.service.state import WarmChipState, WarmStateCache, chip_state_key
+
+__all__ = [
+    "API_VERSION",
+    "BatchRequest",
+    "CompileRequest",
+    "CompileService",
+    "JobManager",
+    "SchemaError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceJob",
+    "ServiceServer",
+    "WarmChipState",
+    "WarmStateCache",
+    "chip_state_key",
+    "create_server",
+    "parse_batch_request",
+    "parse_compile_request",
+    "schedule_payload",
+]

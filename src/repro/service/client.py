@@ -1,0 +1,112 @@
+"""A small stdlib HTTP client for the compile daemon.
+
+Used by ``repro submit`` and the end-to-end tests; it speaks exactly the wire
+format of :mod:`repro.service.schema` and raises typed errors instead of
+leaking ``urllib`` internals.  Only the standard library is required, so the
+client works wherever the daemon does.
+
+>>> client = ServiceClient("127.0.0.1", 8752)     # doctest: +SKIP
+>>> client.healthz()["status"]                    # doctest: +SKIP
+'ok'
+>>> job = client.compile(circuit="qft_n10", wait=True)   # doctest: +SKIP
+>>> job["result"]["cycles"]                       # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+
+
+class ServiceError(ReproError):
+    """The daemon answered with an error payload (or could not be reached).
+
+    ``status`` is the HTTP status code (``None`` for transport failures) and
+    ``payload`` the decoded error body when one was returned.
+    """
+
+    def __init__(self, message: str, status: int | None = None, payload: dict | None = None):
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Talks to one daemon at ``http://host:port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8752, timeout: float = 30.0):
+        self.base_url = f"http://{host}:{port}"
+        self.timeout = timeout
+
+    # ------------------------------------------------------------ transport
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        # A `wait` request holds the HTTP response open for up to the
+        # server-side timeout_seconds; the socket timeout must outlast it or
+        # a slow-but-healthy compile would be misreported as unreachable.
+        timeout = self.timeout
+        if body is not None and body.get("wait"):
+            timeout = max(timeout, float(body.get("timeout_seconds", 60.0)) + 10.0)
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read().decode("utf-8"))
+            except Exception:
+                payload = {}
+            detail = payload.get("message") or exc.reason
+            errors = payload.get("errors")
+            if errors:
+                detail += "".join(f"\n  {e['field']}: {e['message']}" for e in errors)
+            raise ServiceError(
+                f"{method} {path} -> HTTP {exc.code}: {detail}", status=exc.code, payload=payload
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(
+                f"cannot reach compile daemon at {self.base_url}: {exc.reason}"
+            ) from None
+
+    # ------------------------------------------------------------ endpoints
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        """``GET /stats``."""
+        return self._request("GET", "/stats")
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def compile(self, **request) -> dict:
+        """``POST /compile`` with the given schema fields; returns the job payload."""
+        return self._request("POST", "/compile", request)
+
+    def batch(self, **request) -> dict:
+        """``POST /batch`` with the given schema fields; returns the job payload."""
+        return self._request("POST", "/batch", request)
+
+    def wait_for(self, job_id: str, timeout: float = 120.0, poll_seconds: float = 0.1) -> dict:
+        """Poll ``/jobs/<id>`` until the job is terminal; raises on timeout."""
+        deadline = time.monotonic() + timeout
+        while True:
+            payload = self.job(job_id)
+            if payload["status"] in ("done", "failed"):
+                return payload
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {payload['status']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_seconds)

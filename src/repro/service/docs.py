@@ -1,0 +1,166 @@
+"""Generate the HTTP API reference from the schema tables.
+
+``python -m repro.service.docs`` prints the Markdown document; the committed
+``docs/http-api.md`` must match it exactly (enforced by
+``tests/test_docs.py`` and the ``docs-build`` CI job), so the reference can
+never drift from the wire format actually served.  Regenerate with::
+
+    PYTHONPATH=src python -m repro.service.docs > docs/http-api.md
+"""
+
+from __future__ import annotations
+
+from repro.service import schema
+
+
+def _render_fields(fields: tuple[schema.FieldSpec, ...], *, requests: bool) -> list[str]:
+    """One Markdown table for a field tuple (requests also show required/default)."""
+    lines = []
+    if requests:
+        lines.append("| field | type | required | default | description |")
+        lines.append("|---|---|---|---|---|")
+    else:
+        lines.append("| field | type | description |")
+        lines.append("|---|---|---|")
+    for spec in fields:
+        # Literal pipes would split the Markdown table cell.
+        description = spec.description.replace("\n", " ").replace("|", "\\|")
+        type_label = spec.type.replace("|", "\\|")
+        if requests:
+            required = "yes" if spec.required else "no"
+            default = "—" if spec.required else f"`{spec.default!r}`"
+            lines.append(
+                f"| `{spec.name}` | {type_label} | {required} | {default} | {description} |"
+            )
+        else:
+            lines.append(f"| `{spec.name}` | {type_label} | {description} |")
+    return lines
+
+
+def render_api_reference() -> str:
+    """The full ``docs/http-api.md`` document as a string."""
+    lines: list[str] = []
+    out = lines.append
+    out("# HTTP API reference")
+    out("")
+    out("<!-- GENERATED FILE - do not edit by hand. -->")
+    out("<!-- Regenerate: PYTHONPATH=src python -m repro.service.docs > docs/http-api.md -->")
+    out("")
+    out(
+        f"The compile daemon (`python -m repro serve`) speaks JSON over HTTP.  "
+        f"This page is generated field-by-field from `repro/service/schema.py`; "
+        f"the wire format version is **`API_VERSION = {schema.API_VERSION}`** and every "
+        f"response carries it as `api_version`.  Version {schema.API_VERSION} is frozen: "
+        f"later versions may add fields but never rename or repurpose one."
+    )
+    out("")
+    out("Start a daemon and make a request:")
+    out("")
+    out("```bash")
+    out("python -m repro serve --port 8752 &")
+    out("curl -s http://127.0.0.1:8752/healthz")
+    out("curl -s -X POST http://127.0.0.1:8752/compile \\")
+    out("  -H 'Content-Type: application/json' \\")
+    out('  -d \'{"circuit": "qft_n10", "method": "ecmas_dd_min", "wait": true}\'')
+    out("```")
+    out("")
+    out("## Endpoints")
+    out("")
+    out("| method | path | purpose |")
+    out("|---|---|---|")
+    out("| `GET` | `/healthz` | liveness: status, library version, uptime |")
+    out("| `GET` | `/stats` | cache / warm-state / job / engine counters |")
+    out("| `POST` | `/compile` | submit one compile job |")
+    out("| `POST` | `/batch` | submit a circuits × methods job matrix |")
+    out("| `GET` | `/jobs/<id>` | poll a job's status and result |")
+    out("")
+    out(
+        "`POST` endpoints answer `202 Accepted` with a job payload immediately; "
+        "set `wait` in the request body to block until the job is terminal and "
+        "receive the finished payload (`200`) in one round trip."
+    )
+    out("")
+
+    out("## `POST /compile` — request body")
+    out("")
+    lines.extend(_render_fields(schema.COMPILE_REQUEST_FIELDS, requests=True))
+    out("")
+    out("## `POST /batch` — request body")
+    out("")
+    lines.extend(_render_fields(schema.BATCH_REQUEST_FIELDS, requests=True))
+    out("")
+    out("## Job payload (`/jobs/<id>` and inlined `wait` responses)")
+    out("")
+    lines.extend(_render_fields(schema.JOB_RESPONSE_FIELDS, requests=False))
+    out("")
+    out("### Compile result object")
+    out("")
+    out(
+        "A `done` compile job's `result` is the experiment record (the same "
+        "shape the batch engine caches): `circuit`, `method`, `num_qubits`, "
+        "`alpha`, `num_cnots`, `cycles`, `compile_seconds`, `chip`, "
+        "`paper_cycles`, `extra` (per-stage timings, engine counters), plus "
+        "`cached` (true when served from the result cache) and — when "
+        "`include_schedule` was set — `schedule`:"
+    )
+    out("")
+    out("```json")
+    out("{")
+    out('  "model": "double_defect",')
+    out('  "method": "ecmas-dd",')
+    out('  "num_cycles": 42,')
+    out('  "operations": [')
+    out('    {"kind": "cnot_braid", "start_cycle": 0, "duration": 1,')
+    out('     "qubits": [0, 3], "gate_node": 0, "lanes": 1, "new_cut": null,')
+    out('     "path": [["t", 0, 0], ["j", 0, 1], ["t", 0, 1]]}')
+    out("  ]")
+    out("}")
+    out("```")
+    out("")
+    out(
+        "Operations serialise losslessly: `kind` is one of `cnot_braid`, "
+        "`cnot_same_cut`, `cut_modification`, `cut_remap`; `path` lists "
+        "routing-graph nodes (`[\"t\", row, col]` tiles, `[\"j\", row, col]` "
+        "junctions) or is null for pathless operations.  The round-trip test "
+        "asserts this payload is bit-identical to the in-process "
+        "`repro.compile_circuit` result."
+    )
+    out("")
+    out("## `GET /healthz` — response")
+    out("")
+    lines.extend(_render_fields(schema.HEALTH_RESPONSE_FIELDS, requests=False))
+    out("")
+    out("## `GET /stats` — response")
+    out("")
+    lines.extend(_render_fields(schema.STATS_RESPONSE_FIELDS, requests=False))
+    out("")
+    out("## Errors")
+    out("")
+    out(
+        "Malformed JSON or schema violations answer `400`; unknown paths "
+        "`404`; wrong verbs `405`; handler crashes `500`.  All share one "
+        "body shape:"
+    )
+    out("")
+    lines.extend(_render_fields(schema.ERROR_RESPONSE_FIELDS, requests=False))
+    out("")
+    out("```json")
+    out("{")
+    out('  "api_version": 1,')
+    out('  "error": "schema_error",')
+    out('  "message": "invalid request: method: unknown evaluation method \'typo\'; ...",')
+    out('  "errors": [{"field": "method", "message": "unknown evaluation method \'typo\'; ..."}]')
+    out("}")
+    out("```")
+    out("")
+    return "\n".join(lines)
+
+
+def main() -> int:
+    """CLI entry point: print the reference to stdout."""
+    print(render_api_reference(), end="")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

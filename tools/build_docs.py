@@ -1,0 +1,297 @@
+#!/usr/bin/env python3
+"""Offline docs-site builder: ``docs/*.md`` → static HTML, stdlib only.
+
+The canonical docs build is ``mkdocs build --strict`` (see
+``docs/requirements.txt``), but this repository must also build its docs in
+environments with no network access and no third-party packages.  This
+script renders the same pages with a small, deliberately strict Markdown
+subset — headings, paragraphs, fenced code, tables, lists, block quotes and
+the inline span syntax the docs actually use — and mirrors mkdocs' strict
+mode: every internal link is checked against the real file set, and any
+problem (broken link, page missing from the nav, unknown nav entry) is a
+build failure.
+
+Usage::
+
+    python tools/build_docs.py                # build into docs/_site/
+    python tools/build_docs.py --out DIR      # build elsewhere
+    python tools/build_docs.py --check        # build to a temp dir; fail on warnings
+
+The nav is read from ``mkdocs.yml`` so the two builders can never disagree
+about the page set.
+"""
+
+from __future__ import annotations
+
+import argparse
+import html
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOCS = ROOT / "docs"
+
+_PAGE_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 0;
+       color: #1f2430; line-height: 1.55; }
+.layout { display: flex; min-height: 100vh; }
+nav.sidebar { width: 240px; flex-shrink: 0; background: #f4f5f7;
+              border-right: 1px solid #e1e4e8; padding: 1.2rem 1rem; }
+nav.sidebar h1 { font-size: 1rem; margin: 0 0 .8rem; }
+nav.sidebar a { display: block; padding: .25rem .4rem; color: #30517d;
+                text-decoration: none; border-radius: 4px; font-size: .92rem; }
+nav.sidebar a.current { background: #dde6f2; font-weight: 600; }
+main { flex: 1; max-width: 52rem; padding: 1.5rem 2.5rem 4rem; }
+pre { background: #f6f8fa; border: 1px solid #e1e4e8; border-radius: 6px;
+      padding: .8rem 1rem; overflow-x: auto; font-size: .88rem; }
+code { background: #f6f8fa; border-radius: 4px; padding: .1rem .3rem;
+       font-size: .9em; }
+pre code { background: none; border: none; padding: 0; }
+table { border-collapse: collapse; margin: 1rem 0; }
+th, td { border: 1px solid #d6d9dd; padding: .4rem .7rem; text-align: left;
+         vertical-align: top; }
+th { background: #f4f5f7; }
+blockquote { border-left: 4px solid #d6d9dd; margin: 1rem 0; padding: .1rem 1rem;
+             color: #555; }
+h1, h2, h3 { line-height: 1.25; }
+a { color: #2a5db0; }
+"""
+
+
+class DocsError(Exception):
+    """A condition that fails a strict build (broken link, bad nav, …)."""
+
+
+def read_nav(mkdocs_yml: Path) -> list[tuple[str, str]]:
+    """``(title, file.md)`` pairs from the mkdocs nav, in order.
+
+    The nav section of ``mkdocs.yml`` uses one fixed shape
+    (``- Title: file.md``), so a tiny line parser keeps this builder free of
+    any YAML dependency.
+    """
+    entries: list[tuple[str, str]] = []
+    in_nav = False
+    for line in mkdocs_yml.read_text(encoding="utf-8").splitlines():
+        if re.match(r"^nav:\s*$", line):
+            in_nav = True
+            continue
+        if in_nav:
+            match = re.match(r"^\s+-\s+(.+?):\s+(\S+\.md)\s*$", line)
+            if match:
+                entries.append((match.group(1), match.group(2)))
+            elif line.strip() and not line.startswith((" ", "\t", "-")):
+                break  # next top-level key ends the nav block
+    if not entries:
+        raise DocsError(f"no nav entries found in {mkdocs_yml}")
+    return entries
+
+
+# ----------------------------------------------------------------- inline
+_CODE_TOKEN = "\x00code{}\x00"
+
+
+def _render_inline(text: str, page: str, known: set[str], problems: list[str]) -> str:
+    """Inline Markdown → HTML: code spans, links, bold, italic (strict links)."""
+    # Code spans first: their contents are opaque to every other rule.
+    codes: list[str] = []
+
+    def stash_code(match: re.Match) -> str:
+        codes.append(f"<code>{html.escape(match.group(1))}</code>")
+        return _CODE_TOKEN.format(len(codes) - 1)
+
+    out = re.sub(r"`([^`]+)`", stash_code, text)
+    out = html.escape(out, quote=False)
+
+    def link(match: re.Match) -> str:
+        label, target = match.group(1), match.group(2)
+        if re.match(r"^(https?:)?//|^mailto:", target):
+            return f'<a href="{target}">{label}</a>'
+        path, _, anchor = target.partition("#")
+        if path and path not in known:
+            problems.append(f"{page}: broken internal link -> {target!r}")
+            return label
+        href = (path[:-3] + ".html" if path.endswith(".md") else path) + (
+            f"#{anchor}" if anchor else ""
+        )
+        return f'<a href="{href}">{label}</a>'
+
+    out = re.sub(r"\[([^\]]+)\]\(([^)\s]+)\)", link, out)
+    out = re.sub(r"\*\*([^*]+)\*\*", r"<strong>\1</strong>", out)
+    out = re.sub(r"(?<!\*)\*([^*\s][^*]*)\*(?!\*)", r"<em>\1</em>", out)
+    for index, code in enumerate(codes):
+        out = out.replace(_CODE_TOKEN.format(index), code)
+    return out
+
+
+def _split_table_row(line: str) -> list[str]:
+    """Cells of one ``| a | b |`` row, honouring ``\\|`` escapes inside cells."""
+    cells = re.split(r"(?<!\\)\|", line.strip().strip("|"))
+    return [cell.strip().replace("\\|", "|") for cell in cells]
+
+
+# ------------------------------------------------------------------ blocks
+def render_markdown(source: str, page: str, known: set[str], problems: list[str]) -> str:
+    """Render one page's Markdown body to HTML (strict subset; see module docs)."""
+    lines = source.splitlines()
+    out: list[str] = []
+    index = 0
+
+    def inline(text: str) -> str:
+        return _render_inline(text, page, known, problems)
+
+    while index < len(lines):
+        line = lines[index]
+        stripped = line.strip()
+        if not stripped:
+            index += 1
+            continue
+        # Fenced code.
+        fence = re.match(r"^```(\S*)\s*$", stripped)
+        if fence:
+            body = []
+            index += 1
+            while index < len(lines) and not lines[index].strip().startswith("```"):
+                body.append(lines[index])
+                index += 1
+            if index >= len(lines):
+                problems.append(f"{page}: unterminated code fence")
+            index += 1  # consume the closing fence
+            language = f' class="language-{fence.group(1)}"' if fence.group(1) else ""
+            out.append(f"<pre><code{language}>{html.escape(chr(10).join(body))}</code></pre>")
+            continue
+        # Headings.
+        heading = re.match(r"^(#{1,6})\s+(.*?)\s*$", stripped)
+        if heading:
+            level = len(heading.group(1))
+            out.append(f"<h{level}>{inline(heading.group(2))}</h{level}>")
+            index += 1
+            continue
+        # Tables.
+        if stripped.startswith("|") and index + 1 < len(lines) and re.match(
+            r"^\|[\s:|-]+\|$", lines[index + 1].strip()
+        ):
+            header = _split_table_row(stripped)
+            out.append("<table><thead><tr>")
+            out.extend(f"<th>{inline(cell)}</th>" for cell in header)
+            out.append("</tr></thead><tbody>")
+            index += 2
+            while index < len(lines) and lines[index].strip().startswith("|"):
+                cells = _split_table_row(lines[index].strip())
+                if len(cells) != len(header):
+                    problems.append(
+                        f"{page}: table row has {len(cells)} cells, header has {len(header)}"
+                    )
+                out.append("<tr>" + "".join(f"<td>{inline(c)}</td>" for c in cells) + "</tr>")
+                index += 1
+            out.append("</tbody></table>")
+            continue
+        # Lists (one level; continuation lines are folded into the item).
+        list_match = re.match(r"^(\*|-|\d+\.)\s+", stripped)
+        if list_match:
+            ordered = stripped[0].isdigit()
+            tag = "ol" if ordered else "ul"
+            out.append(f"<{tag}>")
+            while index < len(lines):
+                item = re.match(r"^\s*(\*|-|\d+\.)\s+(.*)$", lines[index])
+                if not item:
+                    break
+                text = [item.group(2)]
+                index += 1
+                while (
+                    index < len(lines)
+                    and lines[index].strip()
+                    and re.match(r"^\s+\S", lines[index])
+                    and not re.match(r"^\s*(\*|-|\d+\.)\s+", lines[index])
+                ):
+                    text.append(lines[index].strip())
+                    index += 1
+                out.append(f"<li>{inline(' '.join(text))}</li>")
+            out.append(f"</{tag}>")
+            continue
+        # Block quotes.
+        if stripped.startswith(">"):
+            quoted = []
+            while index < len(lines) and lines[index].strip().startswith(">"):
+                quoted.append(lines[index].strip().lstrip(">").strip())
+                index += 1
+            out.append(f"<blockquote><p>{inline(' '.join(quoted))}</p></blockquote>")
+            continue
+        # HTML comments pass through unrendered.
+        if stripped.startswith("<!--"):
+            while index < len(lines) and "-->" not in lines[index]:
+                index += 1
+            index += 1
+            continue
+        # Paragraph: consume until a blank line or a new block construct.
+        paragraph = []
+        while index < len(lines) and lines[index].strip() and not re.match(
+            r"^(#{1,6}\s|```|\||>|(\*|-|\d+\.)\s)", lines[index].strip()
+        ):
+            paragraph.append(lines[index].strip())
+            index += 1
+        out.append(f"<p>{inline(' '.join(paragraph))}</p>")
+    return "\n".join(out)
+
+
+def build_site(out_dir: Path) -> list[str]:
+    """Render every nav page into ``out_dir``; returns the problem list."""
+    nav = read_nav(ROOT / "mkdocs.yml")
+    known = {name for _, name in nav}
+    problems: list[str] = []
+
+    on_disk = {p.name for p in DOCS.glob("*.md")}
+    for missing in sorted(known - on_disk):
+        problems.append(f"mkdocs.yml: nav references missing page {missing!r}")
+    for orphan in sorted(on_disk - known):
+        problems.append(f"docs/{orphan}: page exists but is not in the mkdocs nav")
+
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for title, name in nav:
+        page_path = DOCS / name
+        if not page_path.is_file():
+            continue  # already reported above
+        body = render_markdown(page_path.read_text(encoding="utf-8"), name, known, problems)
+        current = ' class="current"'
+        sidebar = "\n".join(
+            f'<a href="{n[:-3]}.html"{current if n == name else ""}>{html.escape(t)}</a>'
+            for t, n in nav
+        )
+        document = (
+            "<!DOCTYPE html>\n"
+            f'<html lang="en"><head><meta charset="utf-8">'
+            f"<title>{html.escape(title)} - Ecmas reproduction</title>"
+            f"<style>{_PAGE_CSS}</style></head>\n"
+            f'<body><div class="layout"><nav class="sidebar">'
+            f"<h1>Ecmas reproduction</h1>{sidebar}</nav>\n"
+            f"<main>{body}</main></div></body></html>\n"
+        )
+        (out_dir / f"{name[:-3]}.html").write_text(document, encoding="utf-8")
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Build the site; ``--check`` makes any warning fatal (and builds to a temp dir)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(DOCS / "_site"), help="output directory")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="build into a temporary directory and exit non-zero on any warning",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        with tempfile.TemporaryDirectory() as tmp:
+            problems = build_site(Path(tmp))
+    else:
+        problems = build_site(Path(args.out))
+        print(f"built {len(read_nav(ROOT / 'mkdocs.yml'))} pages into {args.out}")
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
