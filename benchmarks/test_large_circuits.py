@@ -1,0 +1,105 @@
+"""Benchmark: the large-circuit tier — n=100..1000 Ising sweep circuits.
+
+The Table I suite tops out at n=50 / 858 gates; this tier exercises the
+scaling path the flat-array routing core and windowed scheduling exist for.
+Each row compiles an ``ising(n, layers)`` Trotter circuit with
+``ecmas_dd_min`` on the fast engine, records wall-clock, peak RSS and
+schedule length into ``benchmarks/results/large_circuits.txt``, and checks:
+
+* **parity** against the reference engine for every size it can reach
+  (n <= 200, full frontier): bit-identical schedules;
+* **validity** for the windowed sizes (n >= 500): the sliding-window
+  frontier produces a different schedule than the full frontier would, so
+  the check is the validator, not the differential harness;
+* the acceptance row — an n=500 circuit with >= 10k CNOTs compiles to a
+  validator-clean schedule in windowed mode.
+
+The n=1000 row runs only under ``ECMAS_BENCH_FULL=1``: its *scheduling* is
+cheap (the windowed working set is bounded) but the initial KL placement is
+quadratic-ish in n and dominates wall-clock at that size.
+
+Peak RSS is read from ``ru_maxrss`` — a process-lifetime high-water mark —
+so rows run in ascending n and each reported value is an upper bound for
+its row (exact for the row that set the mark).
+"""
+
+from __future__ import annotations
+
+import resource
+import time
+
+from conftest import full_benchmarks_enabled
+
+from repro.circuits.generators.standard import ising
+from repro.eval import format_table
+from repro.pipeline.registry import run_pipeline_method
+
+#: (num_qubits, trotter layers, scheduler window).  ``window=None`` rows use
+#: the full frontier and are cross-checked against the reference engine;
+#: windowed rows are validator-checked.
+_SWEEP: tuple[tuple[int, int, int | None], ...] = (
+    (100, 5, None),
+    (200, 5, None),
+    (500, 11, 64),
+    (1000, 6, 64),
+)
+
+#: Differential parity is asserted up to this size (reference-engine cost).
+_PARITY_MAX_N = 200
+
+#: The acceptance row: n=500 must carry at least this many CNOTs.
+_MIN_LARGE_GATES = 10_000
+
+
+def _peak_rss_mb() -> float:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def test_large_circuits(save_result):
+    rows = []
+    for num_qubits, layers, window in _SWEEP:
+        if num_qubits >= 1000 and not full_benchmarks_enabled():
+            continue
+        circuit = ising(num_qubits, layers)
+        start = time.perf_counter()
+        result = run_pipeline_method(
+            circuit, "ecmas_dd_min", engine="fast", window=window, validate=True
+        )
+        wall = time.perf_counter() - start
+        report = result.context.artifacts["validation"]
+        assert report.valid, (
+            f"n={num_qubits} window={window}: schedule failed validation: "
+            f"{report.errors[:3]}"
+        )
+        if window is None and num_qubits <= _PARITY_MAX_N:
+            reference = run_pipeline_method(circuit, "ecmas_dd_min", engine="reference")
+            assert reference.encoded.operations == result.encoded.operations, (
+                f"n={num_qubits}: fast engine diverged from reference"
+            )
+        if num_qubits == 500:
+            assert circuit.num_cnots >= _MIN_LARGE_GATES, (
+                f"acceptance row must carry >= {_MIN_LARGE_GATES} CNOTs, "
+                f"got {circuit.num_cnots}"
+            )
+        counters = result.counters or {}
+        rows.append(
+            {
+                "n": num_qubits,
+                "gates": circuit.num_cnots,
+                "window": window if window is not None else "full",
+                "wall_s": round(wall, 2),
+                "schedule_s": round(result.stage_seconds("schedule"), 2),
+                "cycles": result.encoded.num_cycles,
+                "peak_rss_mb": round(_peak_rss_mb(), 1),
+                "memo_hits": counters.get("layer_memo_hits", 0),
+                "valid": report.valid,
+            }
+        )
+
+    text = format_table(
+        rows,
+        title="Large-circuit tier — ising(n) sweep, ecmas_dd_min, fast engine "
+        "(wall-clock includes placement; peak RSS is a process high-water mark)",
+    )
+    print("\n" + text)
+    save_result("large_circuits.txt", text)

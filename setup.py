@@ -1,14 +1,19 @@
 """Setup shim.
 
-The canonical project metadata lives in ``pyproject.toml``.  This file exists
-so the package can be installed in environments without network access (no
-build isolation, no ``wheel`` package) via either::
+This file exists so the package can be installed in environments without
+network access (no build isolation, no ``wheel`` package) via either::
 
     pip install -e . --no-build-isolation --no-use-pep517
 
 or the legacy ``python setup.py develop``.
+
+``numpy`` is a *runtime* dependency, not a dev convenience: the fast
+engine's flat-array routing core (``repro.chip.graph_arrays``) builds its
+CSR adjacency and capacity tables as numpy arrays.  It is declared here so
+``pip install`` pulls it in; ``requirements-dev.txt`` pins the same package
+for the PYTHONPATH-based CI jobs that never install the distribution.
 """
 
 from setuptools import setup
 
-setup()
+setup(install_requires=["numpy"])

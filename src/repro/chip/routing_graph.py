@@ -152,6 +152,25 @@ class RoutingGraph:
         """All undirected edge keys."""
         return tuple(self._capacity)
 
+    @property
+    def edge_capacities(self) -> dict[EdgeKey, int]:
+        """The live capacity map, keyed by canonical edge key.  Do not mutate.
+
+        Bulk accessor for :class:`~repro.chip.graph_arrays.CompactRoutingGraph`,
+        which reads every edge once at compile time; per-edge
+        :meth:`capacity` calls would dominate its constructor.
+        """
+        return self._capacity
+
+    @property
+    def junction_capacities(self) -> dict[Node, int]:
+        """The live junction through-capacity map.  Do not mutate.
+
+        Bulk counterpart of :meth:`node_capacity` for junction nodes (tiles
+        are not in the map; their capacity is the unbounded sentinel).
+        """
+        return self._junction_capacity
+
     def capacity(self, a: Node, b: Node) -> int:
         """Capacity of the edge between ``a`` and ``b``."""
         try:

@@ -31,6 +31,12 @@ class GateDAG:
         for node, gate in enumerate(self._gates):
             if not gate.is_cnot:
                 raise CircuitError(f"GateDAG only accepts CNOT gates, got {gate} at position {node}")
+        # Flat (control, target) pairs: the scheduler inner loops read operands
+        # every cycle, and the Gate property chain is measurably more expensive
+        # than one list index.
+        self._operands: list[tuple[int, int]] = [
+            (gate.qubits[0], gate.qubits[1]) for gate in self._gates
+        ]
         self._succ: list[list[int]] = [[] for _ in self._gates]
         self._pred: list[list[int]] = [[] for _ in self._gates]
         self._build_edges()
@@ -77,6 +83,15 @@ class GateDAG:
     def gates(self) -> tuple[Gate, ...]:
         """All gates, indexed by node id."""
         return tuple(self._gates)
+
+    def operands(self, node: int) -> tuple[int, int]:
+        """The (control, target) qubit pair of the CNOT at ``node``."""
+        return self._operands[node]
+
+    @property
+    def operand_pairs(self) -> list[tuple[int, int]]:
+        """All (control, target) pairs, indexed by node id (do not mutate)."""
+        return self._operands
 
     def successors(self, node: int) -> tuple[int, ...]:
         """Direct successors (children) of ``node``."""

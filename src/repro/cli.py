@@ -163,7 +163,32 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(f"compile speedup : {comparison.compile_speedup:.2f}x")
     print(f"schedule speedup: {comparison.schedule_speedup:.2f}x")
+    if args.cprofile:
+        _dump_cprofile(circuit, args.method, args.code_distance, args.cprofile)
     return 0 if comparison.schedules_identical else 1
+
+
+def _dump_cprofile(circuit, method: str, code_distance: int, out_path: str) -> None:
+    """Profile one fast-engine compile, dump ``.pstats``, print the top 10.
+
+    The dump is a standard :mod:`pstats` file (load with
+    ``pstats.Stats(path)`` or ``snakeviz``), so perf PRs can cite real
+    profiles instead of guessing at hot spots.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_pipeline_method(circuit, method, code_distance=code_distance, engine="fast")
+    profiler.disable()
+    profiler.dump_stats(out_path)
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    print()
+    print(f"cProfile dump   : {out_path}")
+    print("top 10 functions by cumulative time (fast engine):")
+    stats.print_stats(10)
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
@@ -189,6 +214,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             resources=args.resources,
             scheduler=args.scheduler,
             engine=args.engine,
+            window=args.window,
             defect_rate=args.defect_rate,
             defect_seed=args.defect_seed,
         )
@@ -198,6 +224,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             args.method,
             chip=chip,
             engine=args.engine,
+            window=args.window,
             defect_rate=args.defect_rate,
             defect_seed=args.defect_seed,
         )
@@ -486,6 +513,13 @@ def build_parser() -> argparse.ArgumentParser:
         "timings, hot-path counters and the measured speedup (e.g. ecmas_dd_min)",
     )
     profile.add_argument("--code-distance", type=int, default=3, metavar="D")
+    profile.add_argument(
+        "--cprofile",
+        metavar="OUT.pstats",
+        default=None,
+        help="profile one fast-engine compile of --method, dump pstats to this "
+        "path and print the top-10 cumulative functions",
+    )
     profile.set_defaults(func=_cmd_profile)
 
     compile_cmd = sub.add_parser("compile", help="compile a circuit and summarise the schedule")
@@ -525,6 +559,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         metavar="S",
         help="random seed for --defect-rate (default 0)",
+    )
+    compile_cmd.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bound the scheduler's working set to a sliding window of N ready "
+        "gates (for very large circuits; the schedule may differ from the "
+        "full-frontier one but stays validator-clean)",
     )
     compile_cmd.add_argument("--stages", action="store_true", help="print per-stage pipeline timings")
     compile_cmd.add_argument("--show-placement", action="store_true", help="render the tile placement")

@@ -35,7 +35,7 @@ class OperationKind(enum.Enum):
     CUT_REMAP = "cut_remap"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ScheduledOperation:
     """One operation of the encoded circuit.
 

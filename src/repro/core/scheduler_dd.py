@@ -28,6 +28,15 @@ set incrementally sorted (:class:`repro.core.incremental.IncrementalReadyQueue`)
 and routes with the landmark A* of :class:`repro.routing.fast_router.FastRouter`;
 both components preserve the reference semantics exactly, so the two engines
 produce identical schedules (enforced by ``tests/test_differential_engines.py``).
+
+The fast engine additionally memoizes whole cycles by their layer
+fingerprint (:mod:`repro.core.layer_memo`): cut types, capped idle times,
+the three-cycle residual-capacity signature and — for the adaptive strategy
+— the successor look-ahead together determine a cycle's outcome, so
+repeated layers replay their recorded actions without routing or strategy
+calls.  ``window`` enables the sliding-window frontier of
+:class:`~repro.core.incremental.WindowedDagFrontier` for bounded working
+sets on very large circuits.
 """
 
 from __future__ import annotations
@@ -46,7 +55,8 @@ from repro.core.cut_decisions import (
 )
 from repro.core.cut_types import CutType
 from repro.core.engines import check_engine, route_query, routing_for, stalled_schedule_error
-from repro.core.incremental import IncrementalReadyQueue
+from repro.core.incremental import IncrementalReadyQueue, WindowedDagFrontier
+from repro.core.layer_memo import LOOKAHEAD_STRATEGIES, MEMO_SAFE_STRATEGIES, DdLayerKey
 from repro.core.mapping import InitialMapping
 from repro.core.priorities import PriorityFunction, criticality_priority
 from repro.core.schedule import EncodedCircuit, OperationKind, ScheduledOperation
@@ -73,6 +83,8 @@ class DoubleDefectScheduler:
         engine: str = "reference",
         max_cycles: int | None = None,
         dag=None,
+        window: int | None = None,
+        memoize: bool | None = None,
     ):
         if mapping.cut_types is None:
             raise SchedulingError("double defect scheduling needs an initial cut-type assignment")
@@ -84,10 +96,25 @@ class DoubleDefectScheduler:
         self._method = method
         self._engine = check_engine(engine)
         self._max_cycles = max_cycles
+        self._window = window
+        # Layer memoization defaults on for the fast engine, but only for
+        # strategies whose read set the fingerprint provably covers; a custom
+        # strategy disables it rather than risking an unsound replay.
+        requested = (self._engine == "fast") if memoize is None else memoize
+        self._memoize = requested and cut_strategy in MEMO_SAFE_STRATEGIES
+        self._memo_lookahead = cut_strategy in LOOKAHEAD_STRATEGIES
         # A DAG precomputed by the pipeline's profile pass is reused as-is;
         # standalone callers pay for one derivation here.
         self._dag = dag if dag is not None else circuit.dag()
         self._graph, self._router = routing_for(mapping.chip, self._engine)
+        #: Tile node per placed qubit, resolved once (placements are frozen).
+        self._tiles = {
+            qubit: tile_node_for(slot)
+            for qubit, slot in mapping.placement.qubit_to_slot.items()
+        }
+        #: Cycle-keyed residual-usage signature cache, active only while the
+        #: layer memo is (set up per run; _apply_direct evicts from it).
+        self._signature_cache: dict[int, object] | None = None
         self.counters = EngineCounters()
 
     def _find_path(self, usage: CapacityUsage, source: Node, target: Node) -> RoutedPath | None:
@@ -109,7 +136,11 @@ class DoubleDefectScheduler:
         if len(self._dag) == 0:
             return result
 
-        frontier = self._dag.frontier()
+        frontier = (
+            WindowedDagFrontier(self._dag, self._window)
+            if self._window is not None
+            else self._dag.frontier()
+        )
         cut = dict(self._mapping.cut_types or {})
         busy_until: dict[int, int] = defaultdict(int)
         usage_by_cycle: dict[int, CapacityUsage] = {}
@@ -124,6 +155,22 @@ class DoubleDefectScheduler:
             if self._engine == "fast"
             else None
         )
+        operands = self._dag.operand_pairs
+        # Layer-fingerprint memoization (see repro.core.layer_memo).
+        memo: dict[tuple, tuple] | None = {} if self._memoize else None
+        fingerprint = (
+            DdLayerKey(
+                self._dag,
+                self._mapping.placement.qubit_to_slot,
+                DIRECT_SAME_CUT_CYCLES,
+                self._memo_lookahead,
+            )
+            if self._memoize
+            else None
+        )
+        # Residual-usage signatures by cycle, shared between the fingerprint
+        # and _apply_direct (which evicts the cycles it reserves into).
+        self._signature_cache = {} if self._memoize else None
 
         max_cycles = (
             self._max_cycles
@@ -150,23 +197,62 @@ class DoubleDefectScheduler:
                 available = [
                     node
                     for node in ready
-                    if busy_until[self._dag.gate(node).control] <= cycle
-                    and busy_until[self._dag.gate(node).target] <= cycle
+                    if busy_until[operands[node][0]] <= cycle
+                    and busy_until[operands[node][1]] <= cycle
                 ]
                 order = self._priority(self._dag, available)
+
+            if memo is not None:
+                key = fingerprint.key(
+                    order, cut, busy_until, cycle, usage_by_cycle, self._signature_cache
+                )
+                cached = memo.get(key)
+                if cached is not None:
+                    self.counters.layer_memo_hits += 1
+                    self._replay_cycle(
+                        cached, order, cycle, cut, busy_until, usage_by_cycle,
+                        completions, cut_flips, scheduled, operations, queue,
+                    )
+                    cycle += 1
+                    usage_by_cycle.pop(cycle - 1, None)
+                    self._signature_cache.pop(cycle - 1, None)
+                    continue
+                misses = self.counters.layer_memo_misses = self.counters.layer_memo_misses + 1
+                if (
+                    misses >= 32
+                    and self.counters.layer_memo_hits * 8 < misses
+                    and frontier.num_remaining * 2 <= len(self._dag)
+                ):
+                    # Fingerprinting is not paying for itself on this circuit:
+                    # half the gates are scheduled and layers still almost
+                    # never repeat exactly.  Stop keying.  (Repetitive
+                    # circuits front-load their misses — every layer is new
+                    # once — so the cutoff also waits for schedule progress,
+                    # not just a miss count.)  Purely a performance decision:
+                    # replays only ever happen on hits, so the schedule is
+                    # unaffected.
+                    memo = None
+                    fingerprint = None
+                    self._signature_cache = None
             usage_now = usage_by_cycle.setdefault(cycle, CapacityUsage())
 
+            record: list | None = [] if memo is not None else None
             for node in order:
-                gate = self._dag.gate(node)
-                qubit_a, qubit_b = gate.control, gate.target
+                qubit_a, qubit_b = operands[node]
                 if busy_until[qubit_a] > cycle or busy_until[qubit_b] > cycle:
-                    continue  # an earlier decision in this cycle occupied a tile
+                    # An earlier decision in this cycle occupied a tile.
+                    if record is not None:
+                        record.append(None)
+                    continue
                 if cut[qubit_a] != cut[qubit_b]:
-                    if self._try_braid(
+                    path = self._try_braid(
                         node, qubit_a, qubit_b, cycle, usage_now,
                         busy_until, completions, scheduled, operations,
-                    ) and queue is not None:
+                    )
+                    if path is not None and queue is not None:
                         queue.discard(node)
+                    if record is not None:
+                        record.append(("braid", path) if path is not None else None)
                     continue
                 context = CutContext(
                     dag=self._dag,
@@ -186,23 +272,35 @@ class DoubleDefectScheduler:
                         decision.qubit, cycle, cut, busy_until, cut_flips, operations,
                         idle=cycle - busy_until[decision.qubit],
                     )
+                    braid_path = None
                     if finished_now:
                         # The modification fit entirely into past idle cycles;
                         # the cut types now differ, so try the braid immediately.
-                        if self._try_braid(
+                        braid_path = self._try_braid(
                             node, qubit_a, qubit_b, cycle, usage_now,
                             busy_until, completions, scheduled, operations,
-                        ) and queue is not None:
+                        )
+                        if braid_path is not None and queue is not None:
                             queue.discard(node)
+                    if record is not None:
+                        side = 0 if decision.qubit == qubit_a else 1
+                        record.append(("modify", side, finished_now, braid_path))
                 else:
-                    if self._try_direct(
+                    path = self._try_direct(
                         node, qubit_a, qubit_b, cycle, usage_by_cycle,
                         busy_until, completions, scheduled, operations,
-                    ) and queue is not None:
+                    )
+                    if path is not None and queue is not None:
                         queue.discard(node)
+                    if record is not None:
+                        record.append(("direct", path) if path is not None else None)
+            if memo is not None:
+                memo[key] = tuple(record)
 
             cycle += 1
             usage_by_cycle.pop(cycle - 1, None)
+            if self._signature_cache is not None:
+                self._signature_cache.pop(cycle - 1, None)
 
         self.counters.cycles_simulated = cycle
         result.operations = operations
@@ -210,7 +308,11 @@ class DoubleDefectScheduler:
 
     # ---------------------------------------------------------------- helpers
     def _tile(self, qubit: int) -> Node:
-        return tile_node_for(self._mapping.placement.slot_of(qubit))
+        tile = self._tiles.get(qubit)
+        if tile is None:
+            # Unplaced qubit: surface the mapping error, not a KeyError.
+            return tile_node_for(self._mapping.placement.slot_of(qubit))
+        return tile
 
     def _try_braid(
         self,
@@ -223,13 +325,31 @@ class DoubleDefectScheduler:
         completions: dict[int, list[int]],
         scheduled: set[int],
         operations: list[ScheduledOperation],
-    ) -> bool:
-        """One-cycle braid between different-cut tiles; returns True if scheduled."""
+    ) -> RoutedPath | None:
+        """One-cycle braid between different-cut tiles; returns the path if scheduled."""
         path = self._find_path(usage_now, self._tile(qubit_a), self._tile(qubit_b))
         if path is None:
-            return False
-        self.counters.gates_scheduled += 1
+            return None
         usage_now.add_path(path)
+        self._apply_braid(
+            node, qubit_a, qubit_b, cycle, path, busy_until, completions, scheduled, operations
+        )
+        return path
+
+    def _apply_braid(
+        self,
+        node: int,
+        qubit_a: int,
+        qubit_b: int,
+        cycle: int,
+        path: RoutedPath,
+        busy_until: dict[int, int],
+        completions: dict[int, list[int]],
+        scheduled: set[int],
+        operations: list[ScheduledOperation],
+    ) -> None:
+        """Record the bookkeeping of one scheduled braid (shared with replay)."""
+        self.counters.gates_scheduled += 1
         operations.append(
             ScheduledOperation(
                 kind=OperationKind.CNOT_BRAID,
@@ -244,7 +364,6 @@ class DoubleDefectScheduler:
         busy_until[qubit_b] = cycle + 1
         completions[cycle + 1].append(node)
         scheduled.add(node)
-        return True
 
     def _try_direct(
         self,
@@ -257,14 +376,39 @@ class DoubleDefectScheduler:
         completions: dict[int, list[int]],
         scheduled: set[int],
         operations: list[ScheduledOperation],
-    ) -> bool:
+    ) -> RoutedPath | None:
         """Three-cycle same-cut CNOT occupying its path for the whole duration."""
         path = self._find_multicycle_path(cycle, DIRECT_SAME_CUT_CYCLES, qubit_a, qubit_b, usage_by_cycle)
         if path is None:
-            return False
+            return None
+        self._apply_direct(
+            node, qubit_a, qubit_b, cycle, path, usage_by_cycle,
+            busy_until, completions, scheduled, operations,
+        )
+        return path
+
+    def _apply_direct(
+        self,
+        node: int,
+        qubit_a: int,
+        qubit_b: int,
+        cycle: int,
+        path: RoutedPath,
+        usage_by_cycle: dict[int, CapacityUsage],
+        busy_until: dict[int, int],
+        completions: dict[int, list[int]],
+        scheduled: set[int],
+        operations: list[ScheduledOperation],
+    ) -> None:
+        """Reserve and book one direct same-cut CNOT (shared with replay)."""
         self.counters.gates_scheduled += 1
         for offset in range(DIRECT_SAME_CUT_CYCLES):
             usage_by_cycle.setdefault(cycle + offset, CapacityUsage()).add_path(path)
+        cache = self._signature_cache
+        if cache is not None:
+            # Future fingerprints read these cycles' signatures; evict them.
+            for offset in range(DIRECT_SAME_CUT_CYCLES):
+                cache.pop(cycle + offset, None)
         operations.append(
             ScheduledOperation(
                 kind=OperationKind.CNOT_SAME_CUT,
@@ -280,7 +424,65 @@ class DoubleDefectScheduler:
         busy_until[qubit_b] = end
         completions[end].append(node)
         scheduled.add(node)
-        return True
+
+    def _replay_cycle(
+        self,
+        actions,
+        order,
+        cycle: int,
+        cut: dict[int, CutType],
+        busy_until: dict[int, int],
+        usage_by_cycle: dict[int, CapacityUsage],
+        completions: dict[int, list[int]],
+        cut_flips: dict[int, list[int]],
+        scheduled: set[int],
+        operations: list[ScheduledOperation],
+        queue: IncrementalReadyQueue | None,
+    ) -> None:
+        """Apply a memoized cycle's recorded actions to the current order.
+
+        The fingerprint guarantees the recorded decisions and paths are valid
+        verbatim; only the gate nodes and absolute cycle numbers differ.
+        Braid reservations for the *current* cycle are not re-applied — that
+        usage tracker is dropped when the cycle ends and nothing routes
+        during a replay — but direct CNOTs reserve their full three-cycle
+        span, which future fingerprints read.
+        """
+        operands = self._dag.operand_pairs
+        for node, action in zip(order, actions):
+            if action is None:
+                continue
+            qubit_a, qubit_b = operands[node]
+            tag = action[0]
+            if tag == "braid":
+                self._apply_braid(
+                    node, qubit_a, qubit_b, cycle, action[1],
+                    busy_until, completions, scheduled, operations,
+                )
+                if queue is not None:
+                    queue.discard(node)
+            elif tag == "direct":
+                self._apply_direct(
+                    node, qubit_a, qubit_b, cycle, action[1], usage_by_cycle,
+                    busy_until, completions, scheduled, operations,
+                )
+                if queue is not None:
+                    queue.discard(node)
+            else:  # "modify"
+                _tag, side, finished_recorded, braid_path = action
+                qubit = qubit_a if side == 0 else qubit_b
+                finished_now = self._schedule_modification(
+                    qubit, cycle, cut, busy_until, cut_flips, operations,
+                    idle=cycle - busy_until[qubit],
+                )
+                assert finished_now == finished_recorded  # fingerprint soundness
+                if finished_now and braid_path is not None:
+                    self._apply_braid(
+                        node, qubit_a, qubit_b, cycle, braid_path,
+                        busy_until, completions, scheduled, operations,
+                    )
+                    if queue is not None:
+                        queue.discard(node)
 
     def _schedule_modification(
         self,

@@ -17,7 +17,13 @@ As in :mod:`repro.core.scheduler_dd`, ``engine="fast"`` swaps the per-cycle
 ready-set rebuild for an incrementally maintained priority queue and the
 Dijkstra router for the landmark A* router, without changing the produced
 schedule; the per-cycle :class:`CapacityUsage` is recycled instead of
-reallocated.
+reallocated.  The fast engine additionally memoizes whole cycles by their
+layer fingerprint (:mod:`repro.core.layer_memo`): a lattice-surgery cycle is
+a pure function of its ordered operand slots, so repeated layers replay
+their recorded braids without touching the router.  ``window`` enables the
+sliding-window frontier of :class:`~repro.core.incremental.WindowedDagFrontier`
+for bounded working sets on very large circuits (the schedule then differs
+from the full-frontier one but stays validator-clean).
 """
 
 from __future__ import annotations
@@ -28,7 +34,8 @@ from repro.chip.geometry import SurfaceCodeModel
 from repro.chip.routing_graph import Node, tile_node_for
 from repro.circuits.circuit import Circuit
 from repro.core.engines import check_engine, route_query, routing_for, stalled_schedule_error
-from repro.core.incremental import IncrementalReadyQueue
+from repro.core.incremental import IncrementalReadyQueue, WindowedDagFrontier
+from repro.core.layer_memo import LsLayerKey
 from repro.core.mapping import InitialMapping
 from repro.core.priorities import PriorityFunction, criticality_priority
 from repro.core.schedule import EncodedCircuit, OperationKind, ScheduledOperation
@@ -51,6 +58,8 @@ class LatticeSurgeryScheduler:
         engine: str = "reference",
         max_cycles: int | None = None,
         dag=None,
+        window: int | None = None,
+        memoize: bool | None = None,
     ):
         self._circuit = circuit
         self._mapping = mapping
@@ -59,9 +68,18 @@ class LatticeSurgeryScheduler:
         self._method = method
         self._engine = check_engine(engine)
         self._max_cycles = max_cycles
+        self._window = window
+        # Layer memoization defaults on for the fast engine; ``memoize=False``
+        # forces it off (the parity tests compare both modes).
+        self._memoize = (self._engine == "fast") if memoize is None else memoize
         # A DAG precomputed by the pipeline's profile pass is reused as-is.
         self._dag = dag if dag is not None else circuit.dag()
         self._graph, self._router = routing_for(mapping.chip, self._engine)
+        #: Tile node per placed qubit, resolved once (placements are frozen).
+        self._tiles = {
+            qubit: tile_node_for(slot)
+            for qubit, slot in mapping.placement.qubit_to_slot.items()
+        }
         self.counters = EngineCounters()
 
     def _find_path(self, usage: CapacityUsage, source: Node, target: Node) -> RoutedPath | None:
@@ -81,7 +99,11 @@ class LatticeSurgeryScheduler:
         if len(self._dag) == 0:
             return result
 
-        frontier = self._dag.frontier()
+        frontier = (
+            WindowedDagFrontier(self._dag, self._window)
+            if self._window is not None
+            else self._dag.frontier()
+        )
         busy_until: dict[int, int] = defaultdict(int)
         completions: dict[int, list[int]] = defaultdict(list)
         scheduled: set[int] = set()
@@ -94,6 +116,16 @@ class LatticeSurgeryScheduler:
         # The fast engine reuses one usage tracker across cycles (cleared in
         # place) instead of allocating a fresh one per cycle.
         recycled_usage = CapacityUsage() if self._engine == "fast" else None
+        operands = self._dag.operand_pairs
+        # Layer memoization: a cycle is a pure function of its ordered operand
+        # slots (usage starts empty; ready gates never share qubits), so the
+        # per-position path outcomes can be replayed on fingerprint repeats.
+        memo: dict[tuple, tuple] | None = {} if self._memoize else None
+        fingerprint = (
+            LsLayerKey(self._dag, self._mapping.placement.qubit_to_slot)
+            if self._memoize
+            else None
+        )
 
         max_cycles = (
             self._max_cycles if self._max_cycles is not None else _SAFETY_FACTOR * (len(self._dag) + 10)
@@ -111,26 +143,44 @@ class LatticeSurgeryScheduler:
 
             if queue is not None:
                 order = queue.available(busy_until, cycle)
-                usage = recycled_usage
-                usage.used.clear()
-                usage.node_used.clear()
             else:
                 ready = [node for node in frontier.ready_nodes() if node not in scheduled]
                 available = [
                     node
                     for node in ready
-                    if busy_until[self._dag.gate(node).control] <= cycle
-                    and busy_until[self._dag.gate(node).target] <= cycle
+                    if busy_until[operands[node][0]] <= cycle
+                    and busy_until[operands[node][1]] <= cycle
                 ]
                 order = self._priority(self._dag, available)
+
+            if memo is not None:
+                key = fingerprint.key(order)
+                cached = memo.get(key)
+                if cached is not None:
+                    self.counters.layer_memo_hits += 1
+                    self._replay_cycle(
+                        cached, order, cycle, busy_until, completions,
+                        scheduled, operations, queue,
+                    )
+                    cycle += 1
+                    continue
+                self.counters.layer_memo_misses += 1
+
+            if recycled_usage is not None:
+                usage = recycled_usage
+                usage.used.clear()
+                usage.node_used.clear()
+            else:
                 usage = CapacityUsage()
 
+            outcomes: list[RoutedPath | None] = []
             for node in order:
-                gate = self._dag.gate(node)
-                qubit_a, qubit_b = gate.control, gate.target
+                qubit_a, qubit_b = operands[node]
                 if busy_until[qubit_a] > cycle or busy_until[qubit_b] > cycle:
+                    outcomes.append(None)
                     continue
                 path = self._find_path(usage, self._tile(qubit_a), self._tile(qubit_b))
+                outcomes.append(path)
                 if path is None:
                     continue
                 self.counters.gates_scheduled += 1
@@ -151,6 +201,8 @@ class LatticeSurgeryScheduler:
                 scheduled.add(node)
                 if queue is not None:
                     queue.discard(node)
+            if memo is not None:
+                memo[key] = tuple(outcomes)
 
             cycle += 1
 
@@ -158,8 +210,47 @@ class LatticeSurgeryScheduler:
         result.operations = operations
         return result
 
+    def _replay_cycle(
+        self,
+        outcomes: tuple[RoutedPath | None, ...],
+        order,
+        cycle: int,
+        busy_until: dict[int, int],
+        completions: dict[int, list[int]],
+        scheduled: set[int],
+        operations: list[ScheduledOperation],
+        queue: IncrementalReadyQueue | None,
+    ) -> None:
+        """Apply a memoized cycle's braids to the current order's gates."""
+        operands = self._dag.operand_pairs
+        for node, path in zip(order, outcomes):
+            if path is None:
+                continue
+            qubit_a, qubit_b = operands[node]
+            self.counters.gates_scheduled += 1
+            operations.append(
+                ScheduledOperation(
+                    kind=OperationKind.CNOT_BRAID,
+                    start_cycle=cycle,
+                    duration=1,
+                    qubits=(qubit_a, qubit_b),
+                    gate_node=node,
+                    path=path,
+                )
+            )
+            busy_until[qubit_a] = cycle + 1
+            busy_until[qubit_b] = cycle + 1
+            completions[cycle + 1].append(node)
+            scheduled.add(node)
+            if queue is not None:
+                queue.discard(node)
+
     def _tile(self, qubit: int) -> Node:
-        return tile_node_for(self._mapping.placement.slot_of(qubit))
+        tile = self._tiles.get(qubit)
+        if tile is None:
+            # Unplaced qubit: surface the mapping error, not a KeyError.
+            return tile_node_for(self._mapping.placement.slot_of(qubit))
+        return tile
 
 
 def schedule_lattice_surgery(

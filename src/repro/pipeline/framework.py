@@ -59,6 +59,12 @@ class PassContext:
     #: schedules; the fast engine uses incremental ready-set maintenance and
     #: landmark A* routing).  Ecmas-ReSu (Algorithm 2) ignores this knob.
     engine: str = "reference"
+    #: When set, the Algorithm 1 schedulers bound their working set to a
+    #: sliding window of this many ready gates
+    #: (:class:`repro.core.incremental.WindowedDagFrontier`).  Windowed
+    #: schedules may differ from full-frontier ones but stay validator-clean;
+    #: intended for n >= 500 / 10k+ gate circuits.  Ecmas-ReSu ignores it.
+    window: int | None = None
     #: Defects applied to the target chip by BuildChip (whether the chip was
     #: supplied by the caller or built for ``resources``).  ``None`` keeps
     #: whatever defects the supplied chip already carries.

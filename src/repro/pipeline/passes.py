@@ -331,6 +331,7 @@ class SchedulePass(Pass):
                     congestion_weight=ctx.congestion_weight,
                     engine=ctx.engine,
                     dag=ctx.dag,
+                    window=ctx.window,
                     **({"method": label} if label else {}),
                 )
         else:
@@ -346,6 +347,7 @@ class SchedulePass(Pass):
                     congestion_weight=ctx.congestion_weight,
                     engine=ctx.engine,
                     dag=ctx.dag,
+                    window=ctx.window,
                     **({"method": label} if label else {}),
                 )
         if scheduler is not None:

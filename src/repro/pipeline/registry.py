@@ -321,6 +321,7 @@ def run_pipeline_method(
     options: EcmasOptions | None = None,
     validate: bool = False,
     engine: str = "reference",
+    window: int | None = None,
     defects: DefectSpec | None = None,
     defect_rate: float = 0.0,
     defect_seed: int = 0,
@@ -334,7 +335,9 @@ def run_pipeline_method(
     identical schedules.  ``defects`` applies a defect spec to the target
     chip, whether supplied or built for the resource configuration;
     ``defect_rate`` additionally degrades that chip with random,
-    connectivity-preserving defects (seeded by ``defect_seed``).
+    connectivity-preserving defects (seeded by ``defect_seed``).  ``window``
+    bounds the schedulers' working set to a sliding frontier window for very
+    large circuits (schedules may differ but stay validator-clean).
     """
     spec = resolve_method(method)
     ctx = PassContext(
@@ -346,6 +349,7 @@ def run_pipeline_method(
         resources=resources if resources is not None else spec.resources,
         scheduler=scheduler if scheduler is not None else spec.scheduler,
         engine=engine,
+        window=window,
         defects=defects,
         defect_rate=defect_rate,
         defect_seed=defect_seed,

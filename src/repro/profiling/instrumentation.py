@@ -20,19 +20,24 @@ class EngineCounters:
 
     ``nodes_expanded`` is the number of search-node expansions across every
     path query — the quantity the fast router's landmark heuristic shrinks.
-    ``landmark_tables`` stays 0 on the reference engine.
+    ``landmark_tables``, ``landmark_build_seconds`` and the ``layer_memo_*``
+    counters stay 0 on the reference engine: landmark tables and layer
+    memoization are fast-engine machinery.
     """
 
     route_calls: int = 0
     route_failures: int = 0
     nodes_expanded: int = 0
     landmark_tables: int = 0
+    landmark_build_seconds: float = 0.0
     static_path_hits: int = 0
+    layer_memo_hits: int = 0
+    layer_memo_misses: int = 0
     cycles_simulated: int = 0
     gates_scheduled: int = 0
     cut_modifications: int = 0
 
-    def as_dict(self) -> dict[str, int]:
+    def as_dict(self) -> dict[str, int | float]:
         """Plain-dict view (stored in pipeline artifacts / JSON exports)."""
         return asdict(self)
 

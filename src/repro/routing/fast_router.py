@@ -3,78 +3,83 @@
 :class:`FastRouter` answers exactly the same queries as
 :func:`repro.routing.router.find_path` — the canonical (minimal-cost,
 lexicographically-smallest) capacity-feasible path between two tiles — but
-explores a fraction of the graph:
+runs over the dense integer core of
+:class:`~repro.chip.graph_arrays.CompactRoutingGraph` and explores a fraction
+of the graph:
 
-* **Memoized landmark distances.**  For every target tile the router runs one
-  backward breadth-first search over the static graph and memoizes the hop
-  distance of every node to that target.  Schedulers route towards the same
-  few operand tiles thousands of times, so each table is built once and then
-  amortised across the whole schedule.
-* **Early-exit goal-directed search.**  The forward search is an A* whose
-  heuristic is the memoized backward distance (the two directions together
-  form an early-exit bidirectional scheme: one static backward sweep, one
-  residual-aware forward sweep that stops the moment the target is settled).
-  Every edge costs at least one hop, so the hop distance is a consistent
-  heuristic and the first pop of the target is optimal.
+* **Flat-array landmark tables.**  For every target actually queried the
+  router runs one backward breadth-first sweep over the compact graph's CSR
+  arrays (vectorised level expansion, see
+  :meth:`CompactRoutingGraph.hop_distances_from`) and keeps the result as a
+  node-id-indexed distance array.  Tables are built lazily per target and
+  then amortised across the whole schedule; the build cost is accounted
+  separately (``landmark_build_seconds``) so shallow circuits on big chips
+  can be diagnosed instead of guessed at.
+* **Early-exit goal-directed search.**  The forward search is an A* over
+  integer node ids whose heuristic is the memoized backward distance.  Every
+  edge costs at least one hop, so the hop distance is a consistent heuristic
+  and the first pop of the target is optimal.
 
-Because the canonical tie-break of :func:`find_path` is part of the search
-key — heap entries order by ``(cost + h, cost, node-sequence)`` — the fast
-search is exploration-order independent and returns bit-identical paths to
-the reference implementation.  ``tests/test_properties_routing.py`` and
+Because node ids are assigned in sorted node-tuple order (see
+:mod:`repro.chip.graph_arrays`), the lexicographic order of id sequences
+equals the lexicographic order of node-tuple sequences — heap entries
+ordered by ``(cost + h, cost, id-sequence)`` therefore reproduce the
+canonical tie-break of :func:`find_path` bit-for-bit.
+``tests/test_properties_routing.py`` and
 ``tests/test_differential_engines.py`` enforce this equivalence.
 
-Defective chips need no special handling here: the landmark tables, the
-static-path cache and the flattened adjacency are all derived from the
-:class:`RoutingGraph`, which already excludes dead tiles and disabled
-segments and carries per-segment capacity overrides.  Parity on defective
-chips is enforced by ``tests/test_defects.py``.
+Defective chips need no special handling here: the compact graph is derived
+from the :class:`RoutingGraph`, which already excludes dead tiles and
+disabled segments and carries per-segment capacity overrides.  Parity on
+defective chips is enforced by ``tests/test_defects.py`` and the Hypothesis
+round-trips in ``tests/test_graph_arrays.py``.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
+import time
 
+from repro.chip.graph_arrays import CompactRoutingGraph
 from repro.chip.routing_graph import Node, RoutingGraph
+from repro.errors import RoutingError
 from repro.routing.paths import CapacityUsage, RoutedPath
 from repro.routing.router import check_route_endpoints
-
-#: Sentinel greater than every (cost, nodes) candidate.
-_INFINITY = (float("inf"), ())
 
 #: Distinguishes "no cache entry" from a cached ``None`` (unroutable pair).
 _UNCACHED = object()
 
 
 class FastRouter:
-    """Capacity-aware router with memoized landmark tables and A* search.
+    """Capacity-aware router over the compact graph with landmark A* search.
 
-    One instance serves one :class:`RoutingGraph`; the landmark tables and
-    the flattened adjacency/capacity lookups are shared across every
-    :meth:`find` call, which is where the reuse pays off.
+    One instance serves one :class:`RoutingGraph`; the compact image, the
+    landmark tables and the static-path cache are shared across every
+    :meth:`find` call, which is where the reuse pays off (the daemon's
+    :class:`~repro.service.state.WarmStateCache` additionally shares whole
+    routers across compiles).
     """
 
     def __init__(self, graph: RoutingGraph):
         self._graph = graph
-        self._landmarks: dict[Node, dict[Node, int]] = {}
+        self._compact = CompactRoutingGraph(graph)
+        #: Node-id-indexed hop-distance lists, keyed by target node id.
+        self._tables: dict[int, list[int]] = {}
+        #: Node-keyed views of the tables, materialised only for public
+        #: :meth:`distances_to` callers (the search uses the id lists).
+        self._table_dicts: dict[Node, dict[Node, int]] = {}
         #: Canonical paths on the *empty* usage state, keyed by (source,
         #: target).  With no reservations every congestion penalty is zero,
         #: so the canonical path depends only on the endpoints — schedulers
-        #: re-ask for the same unloaded pairs every cycle.
-        self._static_paths: dict[tuple[Node, Node], RoutedPath | None] = {}
-        # Flattened static lookups: per-node neighbor list annotated with the
-        # edge key and base capacity, plus junction through-capacities.  The
-        # inner loop then never touches RoutingGraph methods.
-        self._neighbors: dict[Node, tuple[tuple[Node, tuple[Node, Node], int, bool], ...]] = {}
-        for node in graph.nodes:
-            entries = []
-            for neighbor in graph.neighbors(node):
-                key = (node, neighbor) if node <= neighbor else (neighbor, node)
-                entries.append((neighbor, key, graph.capacity(node, neighbor), graph.is_tile(neighbor)))
-            self._neighbors[node] = tuple(entries)
-        self._node_capacity = {
-            node: graph.node_capacity(node) for node in graph.nodes if not graph.is_tile(node)
-        }
+        #: re-ask for the same unloaded pairs every cycle.  Entries store
+        #: ``(path, interior_nodes)`` (or ``None`` for disconnected pairs) so
+        #: the load-overlap check needs no per-call slicing.
+        self._static_paths: dict[
+            tuple[Node, Node], tuple[RoutedPath, tuple[Node, ...]] | None
+        ] = {}
+        #: Wall-clock seconds spent building landmark tables over this
+        #: router's lifetime (warm routers carry time from earlier compiles).
+        self.landmark_build_seconds = 0.0
 
     @property
     def graph(self) -> RoutingGraph:
@@ -82,9 +87,14 @@ class FastRouter:
         return self._graph
 
     @property
+    def compact(self) -> CompactRoutingGraph:
+        """The dense integer-indexed image the searches run over."""
+        return self._compact
+
+    @property
     def landmark_table_count(self) -> int:
         """How many per-target landmark tables have been memoized so far."""
-        return len(self._landmarks)
+        return len(self._tables)
 
     @property
     def static_path_count(self) -> int:
@@ -92,29 +102,36 @@ class FastRouter:
         return len(self._static_paths)
 
     # ------------------------------------------------------------- landmarks
+    def _table_for(self, target_id: int, stats=None) -> list[int]:
+        """The id-indexed hop-distance list towards ``target_id`` (lazy build)."""
+        table = self._tables.get(target_id)
+        if table is None:
+            started = time.perf_counter()
+            table = self._compact.hop_distances_from(target_id).tolist()
+            elapsed = time.perf_counter() - started
+            self.landmark_build_seconds += elapsed
+            if stats is not None:
+                stats.landmark_build_seconds += elapsed
+            self._tables[target_id] = table
+        return table
+
     def distances_to(self, target: Node) -> dict[Node, int]:
         """Static hop distance of every reachable node to ``target``.
 
-        Computed by one backward BFS that, like the forward search, never
-        passes *through* a tile node: tiles receive a distance (they can start
-        a path) but are not expanded.  Tables are memoized per target.
+        Node-keyed compatibility view over the id-indexed table; memoized per
+        target (repeated calls return the identical dict).
         """
-        table = self._landmarks.get(target)
-        if table is None:
-            table = {target: 0}
-            queue = deque((target,))
-            is_tile = self._graph.is_tile
-            while queue:
-                node = queue.popleft()
-                if node != target and is_tile(node):
-                    continue  # tiles are endpoints only — never expand through
-                distance = table[node] + 1
-                for neighbor, _key, _capacity, _is_tile in self._neighbors[node]:
-                    if neighbor not in table:
-                        table[neighbor] = distance
-                        queue.append(neighbor)
-            self._landmarks[target] = table
-        return table
+        view = self._table_dicts.get(target)
+        if view is None:
+            table = self._table_for(self._compact.id_of(target))
+            nodes = self._compact.nodes
+            view = {
+                nodes[node_id]: distance
+                for node_id, distance in enumerate(table)
+                if distance >= 0
+            }
+            self._table_dicts[target] = view
+        return view
 
     # ----------------------------------------------------------------- search
     def find(
@@ -131,18 +148,97 @@ class FastRouter:
         this router's graph — same feasibility rules, same cost, same
         lexicographic tie-break — but goal-directed and early-exiting.
         """
-        check_route_endpoints(self._graph, source, target)
-        if not usage.used and not usage.node_used:
-            key = (source, target)
-            cached = self._static_paths.get(key, _UNCACHED)
-            if cached is not _UNCACHED:
-                if stats is not None:
-                    stats.static_path_hits += 1
-                return cached
-            path = self._search(usage, source, target, congestion_weight, stats)
-            self._static_paths[key] = path
-            return path
-        return self._search(usage, source, target, congestion_weight, stats)
+        key = (source, target)
+        cached = self._static_paths.get(key, _UNCACHED)
+        empty = not usage.used and not usage.node_used
+        if cached is _UNCACHED:
+            # Endpoints are validated once per pair: invalid pairs raise here
+            # and are never cached, so repeat calls re-validate and re-raise.
+            check_route_endpoints(self._graph, source, target)
+            if self._compact.junctions_passable:
+                path = self._static_walk(source, target, stats)
+            else:
+                path = self._search(CapacityUsage(), source, target, congestion_weight, stats)
+            cached = (path, path.nodes[1:-1]) if path is not None else None
+            self._static_paths[key] = cached
+            if empty:
+                return path
+        elif empty:
+            if stats is not None:
+                stats.static_path_hits += 1
+            return cached[0] if cached is not None else None
+        # Loaded graph, known static answer.  If the pair is statically
+        # disconnected, load cannot create a path.  If the canonical unloaded
+        # path carries no load on any edge or interior node, it is still the
+        # answer: load only raises costs and shrinks the feasible set, so the
+        # loaded minimal-cost set is a subset of the unloaded one that still
+        # contains this path — and it stays the lexicographic minimum of any
+        # subset it belongs to.
+        if cached is None:
+            if stats is not None:
+                stats.route_failures += 1
+            return None
+        path, interior = cached
+        used = usage.used
+        if used:
+            for edge in path.edges:
+                if edge in used:
+                    return self._search(usage, source, target, congestion_weight, stats)
+        node_used = usage.node_used
+        if node_used:
+            for node in interior:
+                if node in node_used:
+                    return self._search(usage, source, target, congestion_weight, stats)
+        if stats is not None:
+            stats.static_path_hits += 1
+        return path
+
+    def _static_walk(self, source: Node, target: Node, stats) -> RoutedPath | None:
+        """The canonical path on the *unloaded* graph, read off the table.
+
+        With no reservations the cost of a path is exactly its hop count and
+        every edge is feasible (the graph omits capacities below one), so the
+        canonical answer is the lexicographically-smallest shortest path: a
+        greedy walk that always steps to the smallest-id junction one hop
+        closer to the target (``junction_adjacency`` rows are id-ascending,
+        so the first qualifying neighbor is that junction).  Interior nodes
+        must be junctions able to pass a path, which is why callers gate this
+        on :attr:`CompactRoutingGraph.junctions_passable`; defective chips
+        that strand a junction fall back to the A* search instead.
+        """
+        compact = self._compact
+        source_id = compact.node_id[source]
+        target_id = compact.node_id[target]
+        remaining = self._table_for(target_id, stats)
+        if stats is not None:
+            stats.landmark_tables = len(self._tables)
+        d = remaining[source_id]
+        if d < 0:
+            if stats is not None:
+                stats.route_failures += 1
+            return None
+        junction_adjacency = compact.junction_adjacency
+        ids = [source_id]
+        node = source_id
+        while d > 1:
+            for neighbor, _eid, _capacity in junction_adjacency[node]:
+                if remaining[neighbor] == d - 1:
+                    node = neighbor
+                    ids.append(neighbor)
+                    d -= 1
+                    break
+            else:  # pragma: no cover — BFS guarantees a closer junction
+                raise RoutingError(
+                    f"landmark table inconsistent at node {compact.nodes[node]}"
+                )
+        if node != target_id:
+            ids.append(target_id)
+        nodes = compact.nodes
+        pair_key = compact.pair_edge_key
+        return RoutedPath(
+            tuple(nodes[i] for i in ids),
+            tuple(pair_key[pair] for pair in zip(ids, ids[1:])),
+        )
 
     def _search(
         self,
@@ -152,56 +248,112 @@ class FastRouter:
         congestion_weight: float,
         stats,
     ) -> RoutedPath | None:
-        remaining = self.distances_to(target)
+        compact = self._compact
+        source_id = compact.node_id[source]
+        target_id = compact.node_id[target]
+        remaining = self._table_for(target_id, stats)
         if stats is not None:
-            stats.landmark_tables = len(self._landmarks)
-        heuristic = remaining.get(source)
-        if heuristic is None:
+            stats.landmark_tables = len(self._tables)
+        heuristic = remaining[source_id]
+        if heuristic < 0:
             if stats is not None:
                 stats.route_failures += 1
             return None  # statically disconnected — no residual path can exist
-        edge_used = usage.used
-        node_used = usage.node_used
-        node_capacity = self._node_capacity
-        neighbors = self._neighbors
-        # A* over (cost + h, cost, node-sequence).  The hop distance h is
+        # Translate the tuple-keyed reservations into id-keyed dicts once per
+        # query: the per-cycle reservation sets are tiny compared to the
+        # search, and the inner loop then hashes ints instead of node tuples.
+        if usage.used:
+            edge_id = compact.edge_id
+            edge_used = {edge_id[key]: count for key, count in usage.used.items()}
+        else:
+            edge_used = {}
+        if usage.node_used:
+            node_id = compact.node_id
+            node_used = {node_id[node]: count for node, count in usage.node_used.items()}
+        else:
+            node_used = {}
+        junction_adjacency = compact.junction_adjacency
+        tile_access = compact.tile_access
+        node_capacity = compact._node_capacity_list
+        edge_get = edge_used.get
+        node_get = node_used.get
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        # A* over (cost + h, cost, id-sequence).  The hop distance h is
         # consistent (every edge costs >= 1), so the first pop of the target
-        # carries the minimal cost; ordering entries by (cost, sequence) after
-        # the f-value makes that first pop the canonical lexicographic
+        # carries the minimal cost; ordering entries by (cost, sequence)
+        # after the f-value makes that first pop the canonical lexicographic
         # minimum as well: any prefix of a smaller equal-cost path has a
         # strictly smaller key than a full-path target entry, hence is
-        # expanded before the target can be popped.
-        best: dict[Node, tuple[float, tuple[Node, ...]]] = {source: (0.0, (source,))}
-        heap: list[tuple[float, float, tuple[Node, ...]]] = [(float(heuristic), 0.0, (source,))]
+        # expanded before the target can be popped.  Id-sequence order equals
+        # node-tuple-sequence order by the compact graph's id invariant.
+        #
+        # The best-label store is two flat id-indexed lists (cost, sequence);
+        # a popped entry is current iff its sequence is the stored object, so
+        # the superseded check is one identity test.  Expansion iterates only
+        # junction neighbors (tiles are endpoints, never passed through) and
+        # probes ``tile_access`` for the target tile.
+        infinity = float("inf")
+        best_cost = [infinity] * len(compact.nodes)
+        best_seq: list[tuple[int, ...] | None] = [None] * len(compact.nodes)
+        start = (source_id,)
+        best_cost[source_id] = 0.0
+        best_seq[source_id] = start
+        heap: list[tuple[float, float, tuple[int, ...]]] = [(float(heuristic), 0.0, start)]
         expanded = 0
         while heap:
-            _f, cost, nodes = heapq.heappop(heap)
-            node = nodes[-1]
-            if node == target:
+            _f, cost, ids = heappop(heap)
+            node = ids[-1]
+            if node == target_id:
                 if stats is not None:
                     stats.nodes_expanded += expanded
-                return RoutedPath.from_nodes(self._graph, list(nodes))
-            if best.get(node, (cost, nodes)) != (cost, nodes):
+                nodes = compact.nodes
+                pair_key = compact.pair_edge_key
+                # The searched edges are adjacency entries by construction, so
+                # the path needs no re-validation against the graph.
+                return RoutedPath(
+                    tuple(nodes[i] for i in ids),
+                    tuple(pair_key[pair] for pair in zip(ids, ids[1:])),
+                )
+            if best_seq[node] is not ids:
                 continue  # superseded after pushing
             expanded += 1
-            for neighbor, key, capacity, is_tile in neighbors[node]:
-                if is_tile and neighbor != target:
-                    continue  # tiles are endpoints only
-                load = edge_used.get(key, 0)
+            access = tile_access[node].get(target_id)
+            if access is not None:
+                eid, capacity = access
+                load = edge_get(eid, 0)
+                if load < capacity:
+                    new_cost = cost + 1.0
+                    if congestion_weight and load:
+                        new_cost += congestion_weight * load
+                    bc = best_cost[target_id]
+                    if new_cost <= bc:
+                        candidate = ids + (target_id,)
+                        if new_cost < bc or candidate < best_seq[target_id]:
+                            best_cost[target_id] = new_cost
+                            best_seq[target_id] = candidate
+                            heappush(heap, (new_cost, new_cost, candidate))
+            for neighbor, eid, capacity in junction_adjacency[node]:
+                load = edge_get(eid, 0)
                 if load >= capacity:
                     continue
-                if neighbor != target and node_used.get(neighbor, 0) >= node_capacity[neighbor]:
+                if neighbor != target_id and node_get(neighbor, 0) >= node_capacity[neighbor]:
                     continue  # the junction has no free lane to pass through
-                h = remaining.get(neighbor)
-                if h is None:
+                h = remaining[neighbor]
+                if h < 0:
                     continue  # cannot reach the target from here
                 new_cost = cost + 1.0
                 if congestion_weight and load:
                     new_cost += congestion_weight * load
-                candidate = (new_cost, nodes + (neighbor,))
-                if candidate < best.get(neighbor, _INFINITY):
-                    best[neighbor] = candidate
-                    heapq.heappush(heap, (new_cost + h, new_cost, candidate[1]))
+                bc = best_cost[neighbor]
+                if new_cost > bc:
+                    continue
+                candidate = ids + (neighbor,)
+                if new_cost == bc and not candidate < best_seq[neighbor]:
+                    continue
+                best_cost[neighbor] = new_cost
+                best_seq[neighbor] = candidate
+                heappush(heap, (new_cost + h, new_cost, candidate))
         if stats is not None:
             stats.nodes_expanded += expanded
             stats.route_failures += 1

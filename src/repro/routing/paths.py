@@ -13,7 +13,7 @@ from repro.chip.routing_graph import EdgeKey, Node, RoutingGraph, edge_key
 from repro.errors import RoutingError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RoutedPath:
     """A concrete path between two tile nodes.
 
@@ -51,7 +51,7 @@ class RoutedPath:
         return cls(tuple(nodes), tuple(graph.path_edges(nodes)))
 
 
-@dataclass
+@dataclass(slots=True)
 class CapacityUsage:
     """Per-cycle usage counters for routing-graph edges and junction nodes.
 

@@ -1,0 +1,185 @@
+"""Property tests: :class:`CompactRoutingGraph` round-trips its source graph.
+
+The compact graph is a *compiled image* of a :class:`RoutingGraph`: same
+nodes, same edges, same capacities, re-indexed onto contiguous integers.
+Hypothesis drives random chips — including defective ones with dead tiles,
+disabled segments and bandwidth overrides — and checks that the image is
+lossless and that the node-id ordering invariant (id order == node-tuple
+order) the canonical-path contract rests on actually holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+np = pytest.importorskip("numpy")
+
+from collections import deque
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.chip.chip import Chip
+from repro.chip.defects import DefectSpec
+from repro.chip.geometry import SurfaceCodeModel
+from repro.chip.graph_arrays import TILE_NODE_CAPACITY, CompactRoutingGraph
+from repro.chip.routing_graph import RoutingGraph
+from repro.errors import ReproError, RoutingError
+
+
+# ----------------------------------------------------------------- strategies
+@st.composite
+def chips(draw):
+    """A random small chip, possibly defective."""
+    rows = draw(st.integers(min_value=1, max_value=4))
+    cols = draw(st.integers(min_value=2, max_value=4))
+    chip = Chip(
+        model=SurfaceCodeModel.DOUBLE_DEFECT,
+        code_distance=3,
+        tile_rows=rows,
+        tile_cols=cols,
+        h_bandwidths=tuple(draw(st.integers(1, 3)) for _ in range(rows + 1)),
+        v_bandwidths=tuple(draw(st.integers(1, 3)) for _ in range(cols + 1)),
+        side=999,
+    )
+    if draw(st.booleans()):
+        dead = draw(
+            st.lists(
+                st.tuples(st.integers(0, rows - 1), st.integers(0, cols - 1)),
+                max_size=2,
+            )
+        )
+        segments = st.one_of(
+            st.tuples(st.just("h"), st.integers(0, rows), st.integers(0, cols - 1)),
+            st.tuples(st.just("v"), st.integers(0, rows - 1), st.integers(0, cols)),
+        )
+        disabled = draw(st.lists(segments, max_size=2))
+        overrides = draw(
+            st.lists(st.tuples(segments, st.integers(0, 2)), max_size=2)
+        )
+        try:
+            chip = chip.with_defects(
+                DefectSpec(
+                    dead_tiles=tuple(dead),
+                    disabled_segments=tuple(disabled),
+                    bandwidth_overrides=tuple(overrides),
+                )
+            )
+        except ReproError:
+            assume(False)  # invalid defect draw for this geometry
+    return chip
+
+
+def _oracle_hop_distances(graph: RoutingGraph, target):
+    """Independent BFS: static hop count to ``target``; tiles are endpoints only."""
+    best = {target: 0}
+    queue = deque([target])
+    while queue:
+        node = queue.popleft()
+        if graph.is_tile(node) and node != target:
+            continue
+        for neighbor in graph.neighbors(node):
+            if neighbor not in best:
+                best[neighbor] = best[node] + 1
+                queue.append(neighbor)
+    return best
+
+
+# ------------------------------------------------------------------ properties
+@settings(max_examples=120, deadline=None)
+@given(chips())
+def test_node_ids_round_trip_in_sorted_order(chip):
+    graph = RoutingGraph(chip)
+    compact = CompactRoutingGraph(graph)
+    assert compact.num_nodes == len(graph.nodes)
+    assert list(compact.nodes) == sorted(graph.nodes)
+    for node_id, node in enumerate(compact.nodes):
+        assert compact.id_of(node) == node_id
+        assert compact.node_of(node_id) == node
+    # The ordering invariant the lexicographic path contract rests on.
+    assert all(
+        compact.nodes[i] < compact.nodes[i + 1] for i in range(compact.num_nodes - 1)
+    )
+
+
+@settings(max_examples=120, deadline=None)
+@given(chips())
+def test_edge_ids_and_capacities_round_trip(chip):
+    graph = RoutingGraph(chip)
+    compact = CompactRoutingGraph(graph)
+    assert compact.num_edges == len(graph.edges)
+    assert set(compact.edge_keys) == set(graph.edges)
+    for eid, key in enumerate(compact.edge_keys):
+        assert compact.edge_id_of(key) == eid
+        a, b = key
+        assert compact.edge_capacity[eid] == graph.capacity(a, b)
+        ia, ib = compact.edge_endpoints[eid]
+        assert (compact.node_of(int(ia)), compact.node_of(int(ib))) == key
+
+
+@settings(max_examples=120, deadline=None)
+@given(chips())
+def test_node_capacities_and_tile_mask_round_trip(chip):
+    graph = RoutingGraph(chip)
+    compact = CompactRoutingGraph(graph)
+    passable = True
+    for node_id, node in enumerate(compact.nodes):
+        if graph.is_tile(node):
+            assert bool(compact.is_tile[node_id])
+            assert compact.node_capacity_of(node_id) == TILE_NODE_CAPACITY
+        else:
+            assert not bool(compact.is_tile[node_id])
+            assert compact.node_capacity_of(node_id) == graph.node_capacity(node)
+            passable = passable and graph.node_capacity(node) >= 1
+        assert compact.node_capacity[node_id] == compact.node_capacity_of(node_id)
+    assert compact.junctions_passable == passable
+
+
+@settings(max_examples=120, deadline=None)
+@given(chips())
+def test_csr_adjacency_matches_graph_neighbors(chip):
+    graph = RoutingGraph(chip)
+    compact = CompactRoutingGraph(graph)
+    indptr = compact.indptr
+    neighbor_ids = compact.neighbor_ids
+    adj_edge_ids = compact.adj_edge_ids
+    assert int(indptr[-1]) == len(neighbor_ids) == len(adj_edge_ids)
+    for node_id, node in enumerate(compact.nodes):
+        row = neighbor_ids[int(indptr[node_id]) : int(indptr[node_id + 1])]
+        expected = sorted(compact.id_of(n) for n in graph.neighbors(node))
+        assert list(row) == expected  # ascending ids per CSR row
+        for slot_offset, neighbor in enumerate(row):
+            eid = int(adj_edge_ids[int(indptr[node_id]) + slot_offset])
+            key = compact.edge_keys[eid]
+            assert set(key) == {node, compact.node_of(int(neighbor))}
+        # The flattened Python-level adjacency agrees with the CSR image.
+        assert [entry[0] for entry in compact.adjacency[node_id]] == expected
+
+
+@settings(max_examples=80, deadline=None)
+@given(chips())
+def test_hop_distances_match_bfs_oracle_and_vector_path(chip):
+    graph = RoutingGraph(chip)
+    compact = CompactRoutingGraph(graph)
+    tiles = graph.tile_nodes()
+    assume(tiles)
+    target = tiles[0]
+    target_id = compact.id_of(target)
+    oracle = _oracle_hop_distances(graph, target)
+    scalar = compact._hop_distances_scalar(target_id)
+    vector = compact._hop_distances_vector(target_id)
+    for node_id, node in enumerate(compact.nodes):
+        expected = oracle.get(node, -1)
+        assert scalar[node_id] == expected
+        assert vector[node_id] == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(chips())
+def test_unknown_ids_raise_routing_error(chip):
+    graph = RoutingGraph(chip)
+    compact = CompactRoutingGraph(graph)
+    with pytest.raises(RoutingError):
+        compact.id_of(("t", 999, 999))
+    with pytest.raises(RoutingError):
+        compact.edge_id_of((("j", 999, 999), ("t", 999, 999)))
