@@ -214,6 +214,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             resources=args.resources,
             scheduler=args.scheduler,
             engine=args.engine,
+            placement=args.placement,
             window=args.window,
             defect_rate=args.defect_rate,
             defect_seed=args.defect_seed,
@@ -224,6 +225,7 @@ def _cmd_compile(args: argparse.Namespace) -> int:
             args.method,
             chip=chip,
             engine=args.engine,
+            placement=args.placement,
             window=args.window,
             defect_rate=args.defect_rate,
             defect_seed=args.defect_seed,
@@ -299,6 +301,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         code_distance=args.code_distance,
         validate=args.validate,
         engine=args.engine,
+        placement=args.placement,
     )
     cache = _make_cache(args)
     reporter = _ProgressReporter(echo=args.progress)
@@ -460,6 +463,17 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_placement_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--placement",
+        choices=["reference", "fast"],
+        default="reference",
+        help="placement bisection core; 'fast' uses multilevel coarsening with "
+        "FM gain buckets (near-linear mapping for n >= 500 circuits; placements "
+        "may differ from the reference within parity-harness quality bounds)",
+    )
+
+
 def _add_batch_flags(parser: argparse.ArgumentParser) -> None:
     _add_engine_flag(parser)
     parser.add_argument(
@@ -538,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="'ecmas' (default) or an evaluation method name such as autobraid / edpci_min",
     )
     _add_engine_flag(compile_cmd)
+    _add_placement_flag(compile_cmd)
     compile_cmd.add_argument(
         "--chip-spec",
         metavar="FILE",
@@ -590,6 +605,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--code-distance", type=int, default=3, metavar="D")
     batch.add_argument("--validate", action="store_true", help="validate every schedule")
     _add_batch_flags(batch)
+    _add_placement_flag(batch)
     batch.set_defaults(func=_cmd_batch)
 
     cache_cmd = sub.add_parser("cache", help="inspect or clean the on-disk result cache")

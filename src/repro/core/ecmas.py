@@ -164,6 +164,7 @@ def compile_circuit(
     code_distance: int = DEFAULT_CODE_DISTANCE,
     options: EcmasOptions | None = None,
     engine: str = "reference",
+    placement: str = "reference",
     defects: DefectSpec | None = None,
 ) -> EncodedCircuit:
     """Compile ``circuit`` into a surface-code encoded circuit with Ecmas.
@@ -188,6 +189,10 @@ def compile_circuit(
     engine:
         Algorithm 1 hot path: ``"reference"`` or ``"fast"`` (identical
         schedules, the fast engine is wall-clock faster).
+    placement:
+        Placement bisection core: ``"reference"`` (classic KL) or ``"fast"``
+        (multilevel coarsen/FM — may place differently, quality bounded by
+        the parity harness; use for n >= 500 circuits).
     defects:
         Optional :class:`~repro.chip.defects.DefectSpec` applied to the
         target chip (dead tiles, disabled / degraded corridor segments).
@@ -204,5 +209,6 @@ def compile_circuit(
         code_distance=code_distance,
         options=options,
         engine=engine,
+        placement=placement,
         defects=defects,
     ).encoded

@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.chip.chip import Chip, TileSlot
-from repro.chip.routing_graph import RoutingGraph, tile_node_for
+from repro.chip.routing_graph import tile_node_for
 from repro.circuits.circuit import Circuit
 from repro.circuits.comm_graph import CommunicationGraph
 from repro.core.cut_types import CutAssignment
+from repro.core.engines import routing_for
 from repro.errors import ChipError, MappingError
 from repro.partition.placement import (
     Placement,
@@ -99,19 +100,26 @@ def establish_placement(
     attempts: int = 4,
     seed: int = 0,
     dead: frozenset[tuple[int, int]] = frozenset(),
+    placement_engine: str = "reference",
 ) -> Placement:
     """Map qubits to tile slots within ``shape`` using the requested strategy.
 
     Strategies: ``"ecmas"`` (multi-attempt recursive bisection, the default),
     ``"metis"`` (single-attempt recursive bisection, the Table II "Metis"
     column), ``"trivial"`` (EDPCI snake), ``"spectral"``, ``"random"``.
-    ``dead`` lists tile slots no strategy may use.
+    ``dead`` lists tile slots no strategy may use.  ``placement_engine``
+    picks the bisection core for the bisection-based strategies (classic KL
+    ``reference`` vs multilevel ``fast``); the other strategies ignore it.
     """
     rows, cols = shape
     if strategy == "ecmas":
-        return best_placement(graph, rows, cols, attempts=attempts, seed=seed, dead=dead)
+        return best_placement(
+            graph, rows, cols, attempts=attempts, seed=seed, dead=dead, engine=placement_engine
+        )
     if strategy == "metis":
-        return best_placement(graph, rows, cols, attempts=1, seed=seed, dead=dead)
+        return best_placement(
+            graph, rows, cols, attempts=1, seed=seed, dead=dead, engine=placement_engine
+        )
     if strategy == "trivial":
         return trivial_snake_placement(graph.num_qubits, rows, cols, dead=dead)
     if strategy == "spectral":
@@ -125,19 +133,32 @@ def corridor_load(
     chip: Chip,
     placement: Placement,
     graph: CommunicationGraph,
+    engine: str = "reference",
 ) -> tuple[dict[int, float], dict[int, float]]:
     """Pre-route every CNOT (ignoring conflicts) and accumulate corridor load.
 
     Returns per-corridor load for horizontal and vertical corridors.  The
     load of an edge's corridor increases by the CNOT multiplicity of the pair
     whose unconstrained shortest path uses that edge.
+
+    Routing state comes from the :func:`repro.core.engines.routing_for`
+    seam, so daemon processes reuse their warm per-chip graphs here instead
+    of rebuilding one per compile.  On the fast engine the per-pair search
+    is the router's cached static walk over BFS hop tables; both engines
+    produce the canonical (lexicographically smallest shortest) path, so
+    the accumulated loads are engine-independent.
     """
-    routing_graph = RoutingGraph(chip)
+    routing_graph, router = routing_for(chip, engine)
     h_load: dict[int, float] = {r: 0.0 for r in range(chip.tile_rows + 1)}
     v_load: dict[int, float] = {c: 0.0 for c in range(chip.tile_cols + 1)}
     empty = CapacityUsage()
     for a, b, weight in graph.edges():
-        path = find_path(routing_graph, empty, tile_node_for(placement.slot_of(a)), tile_node_for(placement.slot_of(b)))
+        source = tile_node_for(placement.slot_of(a))
+        target = tile_node_for(placement.slot_of(b))
+        if router is not None:
+            path = router.find(empty, source, target)
+        else:
+            path = find_path(routing_graph, empty, source, target)
         if path is None:
             continue  # disconnected pair (defective chips); no load to record
         for edge_a, edge_b in zip(path.nodes, path.nodes[1:]):
@@ -152,7 +173,9 @@ def corridor_load(
     return h_load, v_load
 
 
-def adjust_bandwidth(chip: Chip, placement: Placement, graph: CommunicationGraph) -> Chip:
+def adjust_bandwidth(
+    chip: Chip, placement: Placement, graph: CommunicationGraph, engine: str = "reference"
+) -> Chip:
     """Redistribute spare lanes towards the most loaded corridors.
 
     The chip's per-axis lane budget is respected; every corridor keeps at
@@ -164,7 +187,7 @@ def adjust_bandwidth(chip: Chip, placement: Placement, graph: CommunicationGraph
     v_spare = v_budget - (chip.tile_cols + 1)
     if h_spare <= 0 and v_spare <= 0:
         return chip
-    h_load, v_load = corridor_load(chip, placement, graph)
+    h_load, v_load = corridor_load(chip, placement, graph, engine=engine)
     h_bandwidths = _distribute(h_load, chip.tile_rows + 1, h_budget)
     v_bandwidths = _distribute(v_load, chip.tile_cols + 1, v_budget)
     return chip.with_bandwidths(h_bandwidths, v_bandwidths)
@@ -201,6 +224,8 @@ def build_initial_mapping(
     adjust: bool = True,
     attempts: int = 4,
     seed: int = 0,
+    placement_engine: str = "reference",
+    routing_engine: str = "reference",
 ) -> InitialMapping:
     """Run the full pre-processing pipeline for ``circuit`` on ``chip``."""
     graph = circuit.communication_graph()
@@ -212,9 +237,10 @@ def build_initial_mapping(
         attempts=attempts,
         seed=seed,
         dead=chip.defects.dead_set(),
+        placement_engine=placement_engine,
     )
     placement.validate(chip)
-    adjusted_chip = adjust_bandwidth(chip, placement, graph) if adjust else chip
+    adjusted_chip = adjust_bandwidth(chip, placement, graph, engine=routing_engine) if adjust else chip
     cost = communication_cost(graph, placement)
     return InitialMapping(
         chip=adjusted_chip,

@@ -135,6 +135,7 @@ def run_method(
     validate: bool = False,
     options: EcmasOptions | None = None,
     engine: str = "reference",
+    placement: str = "reference",
     defects: DefectSpec | None = None,
 ) -> ExperimentRecord:
     """Compile and measure one data point; optionally validate the schedule."""
@@ -146,6 +147,7 @@ def run_method(
         options=options,
         validate=validate,
         engine=engine,
+        placement=placement,
         defects=defects,
     )
     return record_from_result(

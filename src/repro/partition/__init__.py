@@ -1,9 +1,12 @@
 """Graph partitioning and placement substrate (METIS substitute)."""
 
-from repro.partition.kl import cut_weight, kernighan_lin_bisection
+from repro.partition.coarsen import multilevel_bisection
+from repro.partition.kl import GainBuckets, cut_weight, fm_refine, kernighan_lin_bisection
 from repro.partition.placement import (
+    PLACEMENT_ENGINES,
     Placement,
     best_placement,
+    check_placement_engine,
     communication_cost,
     random_placement,
     recursive_bisection_placement,
@@ -13,8 +16,13 @@ from repro.partition.placement import (
 
 __all__ = [
     "kernighan_lin_bisection",
+    "multilevel_bisection",
+    "fm_refine",
+    "GainBuckets",
     "cut_weight",
     "Placement",
+    "PLACEMENT_ENGINES",
+    "check_placement_engine",
     "communication_cost",
     "recursive_bisection_placement",
     "best_placement",

@@ -25,10 +25,30 @@ import numpy as np
 from repro.chip.chip import Chip, TileSlot
 from repro.circuits.comm_graph import CommunicationGraph
 from repro.errors import ChipError, MappingError
+from repro.partition.coarsen import multilevel_bisection
 from repro.partition.kl import WeightMap, kernighan_lin_bisection
 
 #: Dead tile slots as ``(row, col)`` pairs; the empty set means a pristine chip.
 NO_DEAD_TILES: frozenset[tuple[int, int]] = frozenset()
+
+#: Placement engines: ``reference`` = classic KL recursive bisection (the
+#: golden baseline), ``fast`` = multilevel coarsen/FM bisection.
+PLACEMENT_ENGINES: tuple[str, ...] = ("reference", "fast")
+
+#: Bisection core backing each placement engine.
+_BISECTION_CORES = {
+    "reference": kernighan_lin_bisection,
+    "fast": multilevel_bisection,
+}
+
+
+def check_placement_engine(engine: str) -> str:
+    """Validate a placement-engine name, returning it for chaining."""
+    if engine not in PLACEMENT_ENGINES:
+        raise MappingError(
+            f"unknown placement engine {engine!r}; expected one of {PLACEMENT_ENGINES}"
+        )
+    return engine
 
 
 def _alive_slots(
@@ -115,17 +135,22 @@ def recursive_bisection_placement(
     cols: int,
     seed: int | None = None,
     dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
+    engine: str = "reference",
 ) -> Placement:
     """Place all qubits of ``graph`` into an ``rows × cols`` slot rectangle.
 
     Slots listed in ``dead`` are never assigned; region capacities count
-    alive slots only, so defective chips bisect correctly.
+    alive slots only, so defective chips bisect correctly.  ``engine``
+    selects the bisection core: the classic KL ``reference`` or the
+    multilevel coarsen/FM ``fast`` core (same size contract, near-linear
+    cost — see :data:`PLACEMENT_ENGINES`).
     """
     _check_fits(graph.num_qubits, rows, cols, dead)
+    bisect = _BISECTION_CORES[check_placement_engine(engine)]
     weights = _weights_from_graph(graph)
     qubits = list(range(graph.num_qubits))
     assignment: dict[int, TileSlot] = {}
-    _place_region(qubits, weights, 0, rows, 0, cols, assignment, random.Random(seed), dead)
+    _place_region(qubits, weights, 0, rows, 0, cols, assignment, random.Random(seed), dead, bisect)
     return Placement(assignment)
 
 
@@ -149,6 +174,7 @@ def _place_region(
     assignment: dict[int, TileSlot],
     rng: random.Random,
     dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
+    bisect=kernighan_lin_bisection,
 ) -> None:
     rows = row_hi - row_lo
     cols = col_hi - col_lo
@@ -176,13 +202,11 @@ def _place_region(
     if size_first == 0 or size_second == 0:
         # Everything fits in one half; recurse into the half with enough slots.
         target = regions[0] if size_first > 0 else regions[1]
-        _place_region(qubits, weights, *target, assignment, rng, dead)
+        _place_region(qubits, weights, *target, assignment, rng, dead, bisect)
         return
-    side_a, side_b = kernighan_lin_bisection(
-        qubits, weights, seed=rng.randrange(1 << 30), size_a=size_first
-    )
-    _place_region(sorted(side_a), weights, *regions[0], assignment, rng, dead)
-    _place_region(sorted(side_b), weights, *regions[1], assignment, rng, dead)
+    side_a, side_b = bisect(qubits, weights, seed=rng.randrange(1 << 30), size_a=size_first)
+    _place_region(sorted(side_a), weights, *regions[0], assignment, rng, dead, bisect)
+    _place_region(sorted(side_b), weights, *regions[1], assignment, rng, dead, bisect)
 
 
 def trivial_snake_placement(
@@ -226,6 +250,21 @@ def random_placement(
     return Placement({qubit: slots[qubit] for qubit in range(num_qubits)})
 
 
+def canonicalize_eigenvector_sign(vector: np.ndarray) -> np.ndarray:
+    """Fix an eigenvector's arbitrary global sign: first nonzero entry > 0.
+
+    ``v`` and ``-v`` are equally valid eigenvectors and which one LAPACK
+    returns depends on the BLAS build, so any consumer that orders by raw
+    component values (spectral placement does) would be platform-dependent
+    without this.  Entries within ``1e-12`` of zero are treated as zero so
+    rounding noise cannot flip the canonical choice.
+    """
+    for component in vector:
+        if abs(component) > 1e-12:
+            return -vector if component < 0 else vector
+    return vector
+
+
 def spectral_placement(
     graph: CommunicationGraph,
     rows: int,
@@ -249,6 +288,7 @@ def spectral_placement(
     # The Fiedler vector is the eigenvector of the second-smallest eigenvalue.
     order = np.argsort(eigenvalues)
     fiedler = eigenvectors[:, order[1]] if n > 1 else np.zeros(n)
+    fiedler = canonicalize_eigenvector_sign(fiedler)
     ranking = sorted(range(n), key=lambda q: (fiedler[q], q))
     snake = trivial_snake_placement(n, rows, cols, dead=dead)
     return Placement({qubit: snake.slot_of(position) for position, qubit in enumerate(ranking)})
@@ -261,6 +301,7 @@ def best_placement(
     attempts: int = 4,
     seed: int = 0,
     dead: frozenset[tuple[int, int]] = NO_DEAD_TILES,
+    engine: str = "reference",
 ) -> Placement:
     """Run several seeded recursive bisections and keep the cheapest placement.
 
@@ -271,7 +312,9 @@ def best_placement(
     best: Placement | None = None
     best_cost = float("inf")
     for attempt in range(max(1, attempts)):
-        placement = recursive_bisection_placement(graph, rows, cols, seed=seed + attempt, dead=dead)
+        placement = recursive_bisection_placement(
+            graph, rows, cols, seed=seed + attempt, dead=dead, engine=engine
+        )
         cost = communication_cost(graph, placement)
         if cost < best_cost:
             best, best_cost = placement, cost

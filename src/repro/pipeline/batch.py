@@ -66,7 +66,10 @@ from repro.core.ecmas import EcmasOptions
 #: ``defects`` field, and the ReSu cut-remap fix changed ReSu schedules.
 #: (The streaming rework did not bump it: records are bit-identical to the
 #: barrier engine's, and pre-shard flat entries are still found on disk.)
-CACHE_FORMAT_VERSION = 3
+#: 4: placement-engine field — the fast multilevel placement core produces
+#: different (parity-bounded) placements, so ``placement`` is part of result
+#: identity and pre-knob records must not be served for either value.
+CACHE_FORMAT_VERSION = 4
 
 
 def default_cache_dir() -> Path:
@@ -96,6 +99,11 @@ class BatchJob:
     #: even though schedules are engine-independent, because the cached
     #: record carries engine-specific wall-clock times and counters.
     engine: str = "reference"
+    #: Placement bisection core ("reference" / "fast").  Part of the
+    #: fingerprint because — unlike ``engine`` — the fast multilevel core
+    #: genuinely changes placements (within parity-harness bounds), so the
+    #: two values are different experiments.
+    placement: str = "reference"
     #: Defect spec applied to the target chip (see BuildChipPass).  Part of
     #: the fingerprint: the same circuit on a degraded chip is a different
     #: experiment.
@@ -115,6 +123,7 @@ class BatchJob:
             "options": asdict(self.options) if self.options is not None else None,
             "validate": self.validate,
             "engine": self.engine,
+            "placement": self.placement,
             "defects": self.defects.key() if self.defects is not None else None,
         }
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
@@ -162,6 +171,7 @@ def build_batch_jobs(
     code_distance: int = 3,
     validate: bool = False,
     engine: str = "reference",
+    placement: str = "reference",
     chip: Chip | None = None,
     options: EcmasOptions | None = None,
     defects: DefectSpec | None = None,
@@ -184,6 +194,7 @@ def build_batch_jobs(
             options=options,
             validate=validate,
             engine=engine,
+            placement=placement,
             defects=defects,
         )
         for name, circuit in circuits
@@ -441,6 +452,7 @@ def execute_job(job: BatchJob):
         validate=job.validate,
         options=job.options,
         engine=job.engine,
+        placement=job.placement,
         defects=job.defects,
     )
 

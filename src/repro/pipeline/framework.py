@@ -59,6 +59,12 @@ class PassContext:
     #: schedules; the fast engine uses incremental ready-set maintenance and
     #: landmark A* routing).  Ecmas-ReSu (Algorithm 2) ignores this knob.
     engine: str = "reference"
+    #: Placement bisection core: ``"reference"`` (classic KL, the golden
+    #: baseline) or ``"fast"`` (multilevel coarsen/FM gain buckets,
+    #: near-linear — for n >= 500 circuits).  Unlike ``engine``, the fast
+    #: core produces *different* (quality-parity-checked) placements, so the
+    #: reference core stays the default everywhere.
+    placement_engine: str = "reference"
     #: When set, the Algorithm 1 schedulers bound their working set to a
     #: sliding window of this many ready gates
     #: (:class:`repro.core.incremental.WindowedDagFrontier`).  Windowed

@@ -47,7 +47,7 @@ from repro.core.resu import schedule_resu_double_defect, schedule_resu_lattice_s
 from repro.core.scheduler_dd import DoubleDefectScheduler
 from repro.core.scheduler_ls import LatticeSurgeryScheduler
 from repro.errors import SchedulingError
-from repro.partition.placement import communication_cost
+from repro.partition.placement import check_placement_engine, communication_cost
 from repro.pipeline.framework import Pass, PassContext
 
 PRIORITIES: dict[str, Callable] = {
@@ -179,6 +179,7 @@ class InitialMappingPass(Pass):
             attempts=attempts,
             seed=ctx.options.seed,
             dead=chip.defects.dead_set(),
+            placement_engine=check_placement_engine(ctx.placement_engine),
         )
         ctx.placement.validate(chip)
         ctx.mapping_cost = communication_cost(graph, ctx.placement)
@@ -204,7 +205,7 @@ class BandwidthAdjustPass(Pass):
             raise SchedulingError("no placement in context — run InitialMapping first")
         enabled = self._enabled if self._enabled is not None else ctx.options.adjust_bandwidth
         if enabled:
-            chip = adjust_bandwidth(chip, ctx.placement, ctx.require_comm_graph())
+            chip = adjust_bandwidth(chip, ctx.placement, ctx.require_comm_graph(), engine=ctx.engine)
             ctx.chip = chip
         ctx.mapping = InitialMapping(
             chip=chip,

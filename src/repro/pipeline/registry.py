@@ -321,6 +321,7 @@ def run_pipeline_method(
     options: EcmasOptions | None = None,
     validate: bool = False,
     engine: str = "reference",
+    placement: str = "reference",
     window: int | None = None,
     defects: DefectSpec | None = None,
     defect_rate: float = 0.0,
@@ -332,12 +333,16 @@ def run_pipeline_method(
     registered configuration; an explicit ``chip`` overrides ``resources``
     entirely (as in :func:`repro.compile_circuit`).  ``engine`` selects the
     Algorithm 1 hot path (``"reference"`` / ``"fast"``); both produce
-    identical schedules.  ``defects`` applies a defect spec to the target
-    chip, whether supplied or built for the resource configuration;
-    ``defect_rate`` additionally degrades that chip with random,
-    connectivity-preserving defects (seeded by ``defect_seed``).  ``window``
-    bounds the schedulers' working set to a sliding frontier window for very
-    large circuits (schedules may differ but stay validator-clean).
+    identical schedules.  ``placement`` selects the bisection core behind
+    the placement strategies (``"reference"`` classic KL / ``"fast"``
+    multilevel coarsen+FM); unlike ``engine`` the fast core may place qubits
+    differently, within the quality bounds asserted by the placement-parity
+    harness.  ``defects`` applies a defect spec to the target chip, whether
+    supplied or built for the resource configuration; ``defect_rate``
+    additionally degrades that chip with random, connectivity-preserving
+    defects (seeded by ``defect_seed``).  ``window`` bounds the schedulers'
+    working set to a sliding frontier window for very large circuits
+    (schedules may differ but stay validator-clean).
     """
     spec = resolve_method(method)
     ctx = PassContext(
@@ -349,6 +354,7 @@ def run_pipeline_method(
         resources=resources if resources is not None else spec.resources,
         scheduler=scheduler if scheduler is not None else spec.scheduler,
         engine=engine,
+        placement_engine=placement,
         window=window,
         defects=defects,
         defect_rate=defect_rate,

@@ -84,6 +84,45 @@ class TestBandwidthAdjusting:
         h_load, v_load = corridor_load(chip, placement, graph)
         assert sum(h_load.values()) + sum(v_load.values()) > 0
 
+    def test_corridor_load_is_engine_independent(self):
+        # Both engines pre-route along the canonical (lexicographically
+        # smallest shortest) path, so the accumulated corridor loads must be
+        # bit-identical; the fast engine just reads its path off cached BFS
+        # hop tables instead of searching per edge.
+        circuit = standard.qft(9)
+        chip = Chip.four_x(DD, 9, 3)
+        graph = circuit.communication_graph()
+        placement = establish_placement(graph, (3, 3), strategy="trivial")
+        reference = corridor_load(chip, placement, graph, engine="reference")
+        fast = corridor_load(chip, placement, graph, engine="fast")
+        assert fast == reference
+
+    def test_corridor_load_uses_the_routing_provider_seam(self):
+        # Regression: corridor_load used to construct RoutingGraph(chip)
+        # directly, bypassing routing_for — daemon processes rebuilt the
+        # graph from cold on every /compile's mapping stage.
+        from repro.core import engines
+
+        circuit = standard.qft(9)
+        chip = Chip.four_x(DD, 9, 3)
+        graph = circuit.communication_graph()
+        placement = establish_placement(graph, (3, 3), strategy="trivial")
+        calls = []
+        baseline = corridor_load(chip, placement, graph)
+
+        def provider(requested_chip, engine):
+            calls.append((requested_chip, engine))
+            built = engines.RoutingGraph(requested_chip)
+            return built, engines.build_router(built, engine)
+
+        previous = engines.set_routing_provider(provider)
+        try:
+            h_load, v_load = corridor_load(chip, placement, graph)
+        finally:
+            engines.set_routing_provider(previous)
+        assert calls == [(chip, "reference")]
+        assert (h_load, v_load) == baseline
+
 
 class TestBuildInitialMapping:
     def test_full_pipeline_double_defect(self):

@@ -51,6 +51,19 @@ class TestKernighanLin:
         with pytest.raises(PartitionError):
             kernighan_lin_bisection(range(4), {}, initial=({0}, {1}))
 
+    def test_initial_partition_must_match_requested_size(self):
+        # Regression: size_a used to be silently ignored when an initial
+        # partition was supplied — KL swaps can never fix the balance, so the
+        # caller's requested size was quietly violated.
+        with pytest.raises(PartitionError, match=r"2 vertices.*size_a=3"):
+            kernighan_lin_bisection(range(4), {}, initial=({0, 1}, {2, 3}), size_a=3)
+
+    def test_initial_partition_matching_size_accepted(self):
+        side_a, side_b = kernighan_lin_bisection(
+            range(4), {}, initial=({0, 1, 2}, {3}), size_a=3
+        )
+        assert len(side_a) == 3 and len(side_b) == 1
+
     def test_invalid_inputs(self):
         with pytest.raises(PartitionError):
             kernighan_lin_bisection([0], {})
@@ -96,6 +109,39 @@ class TestPlacements:
         placement = spectral_placement(graph, 3, 3)
         assert placement.num_qubits() == 9
         assert len(placement.slots()) == 9
+
+    def test_spectral_placement_invariant_to_eigenvector_sign(self, monkeypatch):
+        # Regression: LAPACK builds are free to return v or -v for the same
+        # eigenpair, and spectral_placement ranks qubits by raw component
+        # values — without sign canonicalization the placement flipped
+        # between platforms.  Simulate the "other" LAPACK by negating every
+        # eigenvector and assert the placement is unchanged.
+        import numpy as np
+
+        graph = standard.ising(9, layers=1).communication_graph()
+        baseline = spectral_placement(graph, 3, 3)
+        real_eigh = np.linalg.eigh
+
+        def negated_eigh(matrix):
+            eigenvalues, eigenvectors = real_eigh(matrix)
+            return eigenvalues, -eigenvectors
+
+        monkeypatch.setattr(np.linalg, "eigh", negated_eigh)
+        flipped = spectral_placement(graph, 3, 3)
+        assert flipped.qubit_to_slot == baseline.qubit_to_slot
+
+    def test_canonicalize_eigenvector_sign(self):
+        import numpy as np
+
+        from repro.partition.placement import canonicalize_eigenvector_sign
+
+        vector = np.array([0.0, -0.4, 0.9])
+        canonical = canonicalize_eigenvector_sign(vector)
+        flipped = canonicalize_eigenvector_sign(-vector)
+        assert np.array_equal(canonical, flipped)
+        assert canonical[1] > 0
+        zero = np.zeros(3)
+        assert np.array_equal(canonicalize_eigenvector_sign(zero), zero)
 
     def test_best_placement_beats_snake_on_clustered_graph(self):
         circuit = standard.dnn(16, layers=6)

@@ -102,6 +102,26 @@ def test_recompiles_reuse_warm_chip_state(daemon):
     assert warm["chips"][0]["landmark_tables"] > 0
 
 
+def test_mapping_stage_reuses_warm_chip_state(daemon):
+    """Regression: corridor_load bypassed routing_for, so the bandwidth-adjust
+    step of every /compile built a RoutingGraph from cold even when the chip
+    was already warm.  On a 4x chip (spare lanes → corridor_load runs) the
+    mapping stage must now acquire through the warm LRU: the first compile
+    warms both the pristine and the bandwidth-adjusted chip, and a repeat
+    compile does zero cold graph builds in any stage, mapping included."""
+    for _ in range(2):
+        job = daemon.compile(
+            circuit="dnn_n8", method="ecmas_dd_4x", engine="fast",
+            wait=True, include_schedule=True,
+        )
+        assert job["status"] == "done"
+    warm = daemon.stats()["warm_state"]
+    # Pristine chip (mapping stage pre-routing) + adjusted chip (scheduler).
+    assert warm["entries"] == 2
+    assert warm["misses"] == 2  # both builds happened in the *first* compile
+    assert warm["hits"] == 2  # the repeat compile was warm in every stage
+
+
 def test_submit_cli_round_trip(daemon, capsys):
     """`repro submit` against a live daemon prints the served record."""
     from repro.cli import main
