@@ -1,0 +1,197 @@
+"""The lint driver: walk files, run rules, apply suppressions, render reports.
+
+:class:`Analyzer` ties the framework together for the ``repro lint`` CLI and
+the test suite: it loads the config, instantiates the requested rules with
+their merged options, walks the target paths in sorted order (the linter
+practises the determinism it preaches), runs file rules per file and project
+rules once, then filters findings through per-line pragmas and the baseline.
+
+The resulting :class:`LintReport` renders two ways: a human diagnostic
+listing (``path:line:col: RULE severity: message``) and a ``--json`` document
+that includes each rule's metadata — notably FPR001's extracted field lists,
+which the sync tests assert against the live dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis import config as config_mod
+from repro.analysis.config import LintConfig, LintConfigError
+from repro.analysis.framework import Finding, Rule, SourceFile, parse_source, registry
+from repro.errors import ReproError
+
+
+class LintUsageError(ReproError):
+    """A bad lint invocation (unknown rule, missing path) — CLI exit code 2."""
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    root: Path
+    findings: list[Finding] = field(default_factory=list)
+    #: Findings suppressed by a ``# lint: disable`` pragma.
+    pragma_suppressed: list[Finding] = field(default_factory=list)
+    #: Findings suppressed by a baseline entry.
+    baseline_suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    rules_run: tuple[str, ...] = ()
+    #: Rule id -> machine-readable extras (field lists, coverage numbers).
+    metadata: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        """True when no unsuppressed finding remains."""
+        return not self.findings
+
+    @property
+    def exit_code(self) -> int:
+        """CLI-consistent exit code: 0 clean, 1 findings (2 = usage, raised)."""
+        return 0 if self.clean else 1
+
+    def to_dict(self) -> dict:
+        """The ``--json`` document."""
+        return {
+            "version": 1,
+            "root": str(self.root),
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules_run),
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": {
+                "pragma": len(self.pragma_suppressed),
+                "baseline": len(self.baseline_suppressed),
+            },
+            "metadata": self.metadata,
+        }
+
+    def render_text(self) -> str:
+        """The human diagnostic listing plus a one-line summary."""
+        lines = [
+            f"{f.location()}: {f.rule} {f.severity}: {f.message}" for f in self.findings
+        ]
+        suppressed = len(self.pragma_suppressed) + len(self.baseline_suppressed)
+        summary = (
+            f"{len(self.findings)} finding(s) in {self.files_checked} file(s); "
+            f"{suppressed} suppressed "
+            f"({len(self.pragma_suppressed)} pragma, {len(self.baseline_suppressed)} baseline); "
+            f"rules: {', '.join(self.rules_run)}"
+        )
+        if self.clean:
+            summary = f"clean: {summary}"
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+class Analyzer:
+    """One configured lint run over a repository."""
+
+    def __init__(
+        self,
+        root: Path | str = ".",
+        config: LintConfig | None = None,
+        config_path: Path | str | None = None,
+        rules: "list[str] | None" = None,
+    ) -> None:
+        self.root = Path(root).resolve()
+        if config is None:
+            config = config_mod.load_config(self.root, config_path)
+        self.config = config
+        requested = rules if rules is not None else list(registry.ids())
+        unknown = [r for r in requested if r not in registry.rule_classes]
+        if unknown:
+            raise LintUsageError(
+                f"unknown rule id(s): {', '.join(sorted(unknown))}; "
+                f"known rules: {', '.join(registry.ids())}"
+            )
+        self.rules: list[Rule] = []
+        for rule_id in requested:
+            if rules is None and not config.rule_enabled(rule_id):
+                continue  # config-disabled rules are skipped unless named explicitly
+            rule_class = registry.get(rule_id)
+            self.rules.append(rule_class(config.options_for(rule_id)))
+
+    def _collect_files(self, paths: "list[str] | None") -> list[Path]:
+        targets = [self.root / p for p in (paths or self.config.paths)]
+        files: list[Path] = []
+        for target in targets:
+            if target.is_file():
+                files.append(target)
+            elif target.is_dir():
+                files.extend(p for p in target.rglob("*.py"))
+            else:
+                raise LintUsageError(f"no such file or directory: {target}")
+        # Sorted, de-duplicated walk: lint output order is itself canonical.
+        return sorted(set(files))
+
+    def run(self, paths: "list[str] | None" = None) -> LintReport:
+        """Lint ``paths`` (default: the config's paths) and return the report."""
+        report = LintReport(root=self.root)
+        report.rules_run = tuple(rule.id for rule in self.rules)
+        sources: list[SourceFile] = []
+        for path in self._collect_files(paths):
+            rel = path.relative_to(self.root).as_posix()
+            try:
+                sources.append(parse_source(path, rel))
+            except SyntaxError as exc:
+                report.findings.append(
+                    Finding(
+                        rule="SYN000",
+                        severity="error",
+                        path=rel,
+                        line=exc.lineno or 0,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                )
+        report.files_checked = len(sources)
+
+        raw: list[tuple[Finding, SourceFile | None]] = []
+        for rule in self.rules:
+            for src in sources:
+                if rule.applies_to(src.rel):
+                    for finding in rule.check_file(src):
+                        raw.append((finding, src))
+            for finding in rule.check_project(self.root):
+                raw.append((finding, None))
+            meta = rule.metadata()
+            if meta:
+                report.metadata[rule.id] = meta
+
+        for finding, src in raw:
+            if src is not None and src.suppressed(finding.rule, finding.line):
+                report.pragma_suppressed.append(finding)
+            elif any(key in self.config.baseline for key in finding.baseline_keys()):
+                report.baseline_suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+        report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return report
+
+
+def rule_catalog() -> list[dict]:
+    """Id/title/severity/scope/rationale for every registered rule, sorted."""
+    catalog: list[dict] = []
+    for rule_id in registry.ids():
+        rule_class = registry.get(rule_id)
+        catalog.append(
+            {
+                "id": rule_class.id,
+                "title": rule_class.title,
+                "severity": rule_class.severity,
+                "scope": list(rule_class.scope) if rule_class.scope else None,
+                "rationale": rule_class.rationale,
+            }
+        )
+    return catalog
+
+
+__all__ = [
+    "Analyzer",
+    "LintConfigError",
+    "LintReport",
+    "LintUsageError",
+    "rule_catalog",
+]

@@ -1,0 +1,207 @@
+"""Lint configuration: the ``.reprolint.toml`` file, baseline and defaults.
+
+The config file is optional; everything has a sensible default.  Layout::
+
+    [lint]
+    # Directories/files to lint when the CLI is given no paths.
+    paths = ["src"]
+    # Findings accepted as-is: "RULE:path" (whole file) or "RULE:path:line".
+    baseline = [
+        "DET001:src/repro/legacy/old_scheduler.py",
+    ]
+
+    [rules.DET004]
+    # Per-rule knobs; "enabled", "severity" and "paths" are universal,
+    # anything else is handed to the rule verbatim via Rule.options.
+    enabled = true
+    paths = ["src/repro"]
+
+    [rules.DOC001]
+    fail_under = 80.0
+
+Parsing uses :mod:`tomllib` where available (Python >= 3.11) and falls back
+to a small strict parser covering exactly the subset above (tables, string /
+number / boolean scalars, single- or multi-line string and number arrays) so
+the linter works on 3.10 with zero third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised only on 3.10
+    tomllib = None  # type: ignore[assignment]
+
+from repro.errors import ReproError
+
+#: Default file name looked up at the repository root.
+CONFIG_FILE_NAME = ".reprolint.toml"
+
+
+class LintConfigError(ReproError):
+    """The config file is missing, unparseable, or structurally invalid."""
+
+
+@dataclass
+class LintConfig:
+    """Parsed lint configuration (defaults when no file exists)."""
+
+    #: Paths (repo-relative) linted when the CLI gives none.
+    paths: tuple[str, ...] = ("src",)
+    #: Accepted findings: ``"RULE:path"`` or ``"RULE:path:line"`` strings.
+    baseline: frozenset[str] = frozenset()
+    #: Per-rule option tables from ``[rules.<ID>]`` sections.
+    rule_options: dict[str, dict] = field(default_factory=dict)
+    #: Where the config was loaded from (``None`` for pure defaults).
+    source: Path | None = None
+
+    def options_for(self, rule_id: str) -> dict:
+        """The ``[rules.<ID>]`` table for ``rule_id`` (empty when absent)."""
+        return dict(self.rule_options.get(rule_id, {}))
+
+    def rule_enabled(self, rule_id: str) -> bool:
+        """False only when the config explicitly sets ``enabled = false``."""
+        return bool(self.rule_options.get(rule_id, {}).get("enabled", True))
+
+
+_SCALAR_RES: tuple[tuple[re.Pattern, object], ...] = (
+    (re.compile(r'^"((?:[^"\\]|\\.)*)"$'), "str"),
+    (re.compile(r"^(true|false)$"), "bool"),
+    (re.compile(r"^-?\d+$"), "int"),
+    (re.compile(r"^-?\d+\.\d*$"), "float"),
+)
+
+
+def _parse_scalar(token: str, where: str) -> object:
+    token = token.strip()
+    for pattern, kind in _SCALAR_RES:
+        match = pattern.match(token)
+        if not match:
+            continue
+        if kind == "str":
+            return re.sub(r"\\(.)", r"\1", match.group(1))
+        if kind == "bool":
+            return token == "true"
+        if kind == "int":
+            return int(token)
+        return float(token)
+    raise LintConfigError(f"unsupported TOML value {token!r} {where}")
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``# …`` comment, honouring ``#`` inside quoted strings."""
+    in_string = False
+    for i, ch in enumerate(line):
+        if ch == '"' and (i == 0 or line[i - 1] != "\\"):
+            in_string = not in_string
+        elif ch == "#" and not in_string:
+            return line[:i]
+    return line
+
+
+def _parse_toml_subset(text: str, where: str) -> dict:
+    """Parse the documented config subset (used when :mod:`tomllib` is absent)."""
+    root: dict = {}
+    table = root
+    pending_key: str | None = None
+    pending_items: list[object] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw).strip()
+        if pending_key is not None:
+            # Inside a multi-line array: accumulate until the closing bracket.
+            body, closed = (line[:-1], True) if line.endswith("]") else (line, False)
+            for token in body.split(","):
+                if token.strip() and not token.strip().startswith("#"):
+                    pending_items.append(_parse_scalar(token, f"at {where}:{lineno}"))
+            if closed:
+                table[pending_key] = pending_items
+                pending_key, pending_items = None, []
+            continue
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            name = line[1:-1].strip()
+            table = root
+            for part in name.split("."):
+                table = table.setdefault(part.strip(), {})
+            continue
+        if "=" not in line:
+            raise LintConfigError(f"cannot parse line {lineno} {where}: {raw!r}")
+        key, _, value = line.partition("=")
+        key, value = key.strip(), value.strip()
+        if value.startswith("["):
+            if value.endswith("]"):
+                items = [
+                    _parse_scalar(token, f"at {where}:{lineno}")
+                    for token in value[1:-1].split(",")
+                    if token.strip()
+                ]
+                table[key] = items
+            else:
+                pending_key, pending_items = key, []
+                body = value[1:]
+                for token in body.split(","):
+                    if token.strip():
+                        pending_items.append(_parse_scalar(token, f"at {where}:{lineno}"))
+        else:
+            table[key] = _parse_scalar(value, f"at {where}:{lineno}")
+    if pending_key is not None:
+        raise LintConfigError(f"unterminated array for key {pending_key!r} {where}")
+    return root
+
+
+def _load_toml(path: Path) -> dict:
+    text = path.read_text(encoding="utf-8")
+    if tomllib is not None:
+        try:
+            return tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise LintConfigError(f"cannot parse {path}: {exc}") from None
+    return _parse_toml_subset(text, f"in {path}")
+
+
+def load_config(root: Path, config_path: Path | str | None = None) -> LintConfig:
+    """Load the lint config for a repo rooted at ``root``.
+
+    ``config_path`` pins an explicit file (missing → error); otherwise
+    ``<root>/.reprolint.toml`` is used when present and pure defaults when
+    not.
+    """
+    if config_path is not None:
+        path = Path(config_path)
+        if not path.is_file():
+            raise LintConfigError(f"no lint config at {path}")
+    else:
+        path = root / CONFIG_FILE_NAME
+        if not path.is_file():
+            return LintConfig()
+    data = _load_toml(path)
+    if not isinstance(data, dict):
+        raise LintConfigError(f"{path} must contain TOML tables")
+    lint = data.get("lint", {})
+    if not isinstance(lint, dict):
+        raise LintConfigError(f"[lint] in {path} must be a table")
+    paths = lint.get("paths", ["src"])
+    baseline = lint.get("baseline", [])
+    if not isinstance(paths, list) or not all(isinstance(p, str) for p in paths):
+        raise LintConfigError(f"lint.paths in {path} must be a list of strings")
+    if not isinstance(baseline, list) or not all(isinstance(b, str) for b in baseline):
+        raise LintConfigError(f"lint.baseline in {path} must be a list of strings")
+    rules = data.get("rules", {})
+    if not isinstance(rules, dict):
+        raise LintConfigError(f"[rules.*] in {path} must be tables")
+    rule_options: dict[str, dict] = {}
+    for rule_id, options in rules.items():
+        if not isinstance(options, dict):
+            raise LintConfigError(f"[rules.{rule_id}] in {path} must be a table")
+        rule_options[str(rule_id)] = dict(options)
+    return LintConfig(
+        paths=tuple(paths),
+        baseline=frozenset(baseline),
+        rule_options=rule_options,
+        source=path,
+    )

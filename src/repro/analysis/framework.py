@@ -1,0 +1,222 @@
+"""Core types of the static-analysis subsystem: rules, findings, sources.
+
+``repro lint`` is a rule-based analyzer over Python :mod:`ast`.  Each
+:class:`Rule` owns an upper-case identifier (``DET001``, ``FPR001``, …), a
+default severity and an optional path scope; running one produces
+:class:`Finding` records that the :class:`~repro.analysis.analyzer.Analyzer`
+filters through per-line pragmas and the ``.reprolint.toml`` baseline before
+rendering them for humans or machines.
+
+Two rule shapes exist:
+
+* *file rules* implement :meth:`Rule.check_file` and are invoked once per
+  parsed :class:`SourceFile` inside their scope;
+* *project rules* implement :meth:`Rule.check_project` and run once per lint
+  invocation against the repository root (the fingerprint-completeness and
+  docstring-coverage rules, which reason about whole files or packages
+  rather than individual statements).
+
+Suppression happens at exactly two levels, both explicit and reviewable: a
+``# lint: disable=RULE`` comment on the offending line, or a
+``"RULE:path[:line]"`` entry in the config file's baseline list.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+#: ``# lint: disable=DET001`` or ``# lint: disable=DET001,FRK002`` — the
+#: comment may trail code and the rule list is comma-separated.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9_,\s]+)")
+
+#: Rule identifiers are short upper-case tags: three letters + three digits.
+RULE_ID_RE = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is repository-relative with ``/`` separators so findings,
+    baselines and JSON output are stable across platforms.  ``line`` is
+    1-based; project-level findings that have no natural line use ``0``.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    col: int = 0
+
+    def location(self) -> str:
+        """``path:line:col`` in the conventional compiler-diagnostic shape."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def baseline_keys(self) -> tuple[str, str]:
+        """The two baseline entries that suppress this finding (with / without line)."""
+        return (f"{self.rule}:{self.path}:{self.line}", f"{self.rule}:{self.path}")
+
+    def to_dict(self) -> dict:
+        """JSON-able representation used by ``repro lint --json``."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class SourceFile:
+    """One parsed Python file: text, AST, and per-line pragma suppressions."""
+
+    def __init__(self, path: Path, rel: str, text: str) -> None:
+        self.path = path
+        #: Repository-relative path with ``/`` separators (finding identity).
+        self.rel = rel
+        self.text = text
+        self.lines = text.splitlines()
+        self.tree = ast.parse(text, filename=rel)
+        #: line number -> set of rule ids disabled on that line.
+        self.pragmas: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            match = _PRAGMA_RE.search(line)
+            if match:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                if rules:
+                    self.pragmas[lineno] = rules
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        """True when a pragma suppresses ``rule`` at ``line``.
+
+        A pragma applies to its own line, or — when written on a
+        comment-only line — to the first code line below it (so long
+        statements can carry the justification above them).
+        """
+        if rule in self.pragmas.get(line, ()):
+            return True
+        above = line - 1
+        while above >= 1:
+            content = self.lines[above - 1].strip() if above <= len(self.lines) else ""
+            if not content.startswith("#"):
+                return False
+            if rule in self.pragmas.get(above, ()):
+                return True
+            above -= 1  # a justification may span several comment lines
+        return False
+
+
+class Rule:
+    """One named static-analysis check.
+
+    Subclasses set the class attributes and implement :meth:`check_file`
+    (per-file rules) or :meth:`check_project` (whole-repository rules).
+    ``scope`` restricts a file rule to path prefixes (repo-relative, ``/``
+    separated); ``None`` means every linted file.  ``options`` carries the
+    merged per-rule configuration from ``.reprolint.toml`` — subclasses read
+    their knobs from it with :meth:`option`.
+    """
+
+    id: str = "XXX000"
+    title: str = "unnamed rule"
+    severity: str = "error"
+    #: Path prefixes (relative to the repo root) this rule applies to;
+    #: ``None`` applies everywhere.  Overridable per-repo via the config
+    #: file's ``paths`` option for the rule.
+    scope: tuple[str, ...] | None = None
+    #: One-paragraph rationale shown by ``repro lint --list-rules`` and the
+    #: docs: which contract the rule guards and why.
+    rationale: str = ""
+
+    def __init__(self, options: dict | None = None) -> None:
+        self.options = dict(options or {})
+
+    def option(self, name: str, default: object = None) -> Any:
+        """The configured value for ``name`` (config file beats ``default``)."""
+        return self.options.get(name, default)
+
+    def effective_scope(self) -> tuple[str, ...] | None:
+        """The path prefixes this rule runs on, after config overrides."""
+        paths = self.option("paths")
+        if paths is not None:
+            return tuple(str(p) for p in paths)
+        return self.scope
+
+    def applies_to(self, rel: str) -> bool:
+        """True when the file at repo-relative ``rel`` is inside this rule's scope."""
+        scope = self.effective_scope()
+        if scope is None:
+            return True
+        return any(rel == prefix or rel.startswith(prefix) for prefix in scope)
+
+    def check_file(self, src: SourceFile) -> list[Finding]:
+        """Findings in one source file (file rules override this)."""
+        return []
+
+    def check_project(self, root: Path) -> list[Finding]:
+        """Findings about the repository as a whole (project rules override this)."""
+        return []
+
+    def metadata(self) -> dict | None:
+        """Machine-readable extras for ``--json`` (e.g. extracted field lists)."""
+        return None
+
+    def finding(self, path: str, line: int, message: str, col: int = 0) -> Finding:
+        """Construct a :class:`Finding` stamped with this rule's id and severity."""
+        return Finding(
+            rule=self.id,
+            severity=str(self.option("severity", self.severity)),
+            path=path,
+            line=line,
+            message=message,
+            col=col,
+        )
+
+
+@dataclass
+class RuleRegistry:
+    """An ordered collection of rule classes, keyed by rule id."""
+
+    rule_classes: dict[str, type[Rule]] = field(default_factory=dict)
+
+    def register(self, rule_class: type[Rule]) -> type[Rule]:
+        """Add one rule class (usable as a decorator); ids must be unique."""
+        rule_id = rule_class.id
+        if not RULE_ID_RE.match(rule_id):
+            raise ValueError(f"invalid rule id {rule_id!r} (expected e.g. DET001)")
+        if rule_id in self.rule_classes:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        self.rule_classes[rule_id] = rule_class
+        return rule_class
+
+    def ids(self) -> tuple[str, ...]:
+        """Every registered rule id, sorted."""
+        return tuple(sorted(self.rule_classes))
+
+    def get(self, rule_id: str) -> type[Rule]:
+        """The rule class for ``rule_id`` (raises ``KeyError`` when unknown)."""
+        return self.rule_classes[rule_id]
+
+
+#: The process-wide catalog that rule modules register into at import time.
+#: Populated once by module-level ``@registry.register`` decorators — import
+#: order is fixed by ``repro.analysis.__init__`` — and never mutated
+#: afterwards, so it is safe to read from forked workers and handler
+#: threads.  # lint: disable=FRK001
+registry = RuleRegistry()
+
+
+def parse_source(path: Path, rel: str) -> SourceFile:
+    """Read and parse one file into a :class:`SourceFile`.
+
+    Raises :class:`SyntaxError` (with the file named) when the file does not
+    parse — a lint run must not silently skip unparseable code.
+    """
+    text = path.read_text(encoding="utf-8")
+    return SourceFile(path, rel, text)

@@ -37,6 +37,11 @@ Commands
     the client half of ``serve``.
 ``suite``
     List the built-in benchmark circuits and their statistics.
+``lint``
+    Run the repository's static-analysis rules (determinism, fingerprint
+    completeness, fork/thread safety, docstring coverage) over ``src/``.
+    Exit codes follow the CLI convention: 0 clean, 1 findings, 2 usage
+    error.  See ``docs/static-analysis.md``.
 """
 
 from __future__ import annotations
@@ -435,6 +440,33 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.analysis import Analyzer, rule_catalog
+
+    if args.list_rules:
+        if args.json:
+            print(json_mod.dumps({"rules": rule_catalog()}, indent=2))
+        else:
+            for rule in rule_catalog():
+                scope = ", ".join(rule["scope"]) if rule["scope"] else "all linted files"
+                print(f"{rule['id']}  {rule['title']}  [{rule['severity']}; scope: {scope}]")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+        if not rules:
+            raise ReproError("--rules needs at least one rule id")
+    analyzer = Analyzer(root=args.root, config_path=args.baseline, rules=rules)
+    report = analyzer.run(args.paths or None)
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return report.exit_code
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
     rows = []
     for spec in default_suite(include_large=args.large):
@@ -683,6 +715,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="give up after S seconds (default 120)",
     )
     submit.set_defaults(func=_cmd_submit)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the static-analysis rules (determinism, fingerprint, fork safety, docs)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint, relative to --root "
+        "(default: the config file's paths, normally src)",
+    )
+    lint.add_argument(
+        "--root",
+        default=".",
+        metavar="DIR",
+        help="repository root: configs and reported paths are relative to it (default .)",
+    )
+    lint.add_argument(
+        "--rules",
+        default=None,
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all rules the config enables)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="config/baseline file (default: <root>/.reprolint.toml when present)",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable report (findings, suppression counts, and "
+        "per-rule metadata such as the fingerprint rule's extracted field lists)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog and exit"
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     suite = sub.add_parser("suite", help="list the built-in benchmark circuits")
     suite.add_argument("--large", action="store_true", help="include the very large circuits")

@@ -59,7 +59,7 @@ def set_routing_provider(provider: RoutingProvider | None) -> RoutingProvider | 
     Returns the previous provider so callers can restore it; see
     :class:`repro.service.state.WarmStateCache` for the canonical user.
     """
-    global _routing_provider
+    global _routing_provider  # lint: disable=FRK001 — this IS the sanctioned seam
     previous = _routing_provider
     _routing_provider = provider
     return previous

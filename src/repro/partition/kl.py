@@ -125,10 +125,14 @@ def _kl_pass(side_a: set[int], side_b: set[int], adjacency: dict[int, dict[int, 
 
     for _ in range(min(len(work_a), len(work_b))):
         best: tuple[float, int, int] | None = None
-        for a in work_a:
+        # Sorted scans pin the gain tie-break to vertex order: set iteration
+        # order is hash-history-dependent, and the winning pair of an
+        # equal-gain tie must not vary between two runs that feed the
+        # golden-parity harness.
+        for a in sorted(work_a):
             if a in locked:
                 continue
-            for b in work_b:
+            for b in sorted(work_b):
                 if b in locked:
                     continue
                 cross = adjacency[a].get(b, 0.0)

@@ -323,6 +323,8 @@ class ResultCache:
 
     def prune(self, older_than_seconds: float) -> int:
         """Delete records not rewritten in the last ``older_than_seconds``."""
+        # Cache maintenance, not compilation: the prune cutoff is wall-clock
+        # by definition.  # lint: disable=DET004
         cutoff = time.time() - older_than_seconds
         removed = 0
         for path in list(self._entry_paths()):

@@ -160,6 +160,8 @@ class JobManager:
                 return
             with self._lock:
                 job.status = "running"
+                # Job lifecycle timestamps are API payload, not compile
+                # inputs.  # lint: disable=DET004
                 job.started_at = time.time()
             try:
                 result = self._executor(job)
@@ -175,6 +177,7 @@ class JobManager:
                 job.result = result
                 job.error = error
                 job.status = "done" if error is None else "failed"
+                # lint: disable=DET004 — lifecycle timestamp for the API payload
                 job.finished_at = time.time()
                 # The request (parsed circuits, inline QASM, chips) is dead
                 # weight once the job is terminal; payload() never reads it,

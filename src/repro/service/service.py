@@ -58,6 +58,8 @@ class CompileService:
         self.workers = resolve_workers(workers)
         self.warm = WarmStateCache(capacity=warm_chips)
         self.warm.install()
+        # Service bookkeeping (uptime base), not a compilation input.
+        # lint: disable=DET004
         self.started_at = time.time()
         self.engine_counters: dict[str, int] = {}
         self.jobs = JobManager(self._execute, max_jobs_kept=max_jobs_kept)
@@ -171,6 +173,7 @@ class CompileService:
             "api_version": API_VERSION,
             "status": "ok",
             "version": __version__,
+            # lint: disable=DET004 — monitoring uptime, not a compile input
             "uptime_seconds": time.time() - self.started_at,
         }
 
@@ -188,6 +191,7 @@ class CompileService:
             result_cache = self.cache.stats() if scan_disk else self.cache.counters()
         return {
             "api_version": API_VERSION,
+            # lint: disable=DET004 — monitoring uptime, not a compile input
             "uptime_seconds": time.time() - self.started_at,
             "jobs": self.jobs.stats(),
             "result_cache": result_cache,

@@ -67,6 +67,7 @@ class WarmChipState:
         return {
             "chip": self.chip.describe(),
             "hits": self.hits,
+            # lint: disable=DET004 — warm-state age for monitoring only
             "age_seconds": time.time() - self.built_at,
             "landmark_tables": self.router.landmark_table_count if self.router else 0,
             "static_paths": self.router.static_path_count if self.router else 0,

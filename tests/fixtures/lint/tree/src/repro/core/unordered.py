@@ -1,0 +1,121 @@
+"""Known-bad fixture: determinism violations in a hot-path package.
+
+Lines tagged ``# expect: RULE`` must each fire exactly that rule at that
+line (``tests/test_lint.py`` scans the tags and asserts the finding set
+matches exactly); the ``ok_*`` functions must stay silent.
+"""
+
+import os
+import random
+import time
+
+
+def bad_set_literal_iteration():
+    """DET001: iterating a set literal."""
+    total = []
+    for item in {3, 1, 2}:  # expect: DET001
+        total.append(item)
+    return total
+
+
+def bad_set_call_iteration(values):
+    """DET001: iterating a set() constructor result."""
+    return [v for v in set(values)]  # expect: DET001
+
+
+def bad_tracked_set_name(values):
+    """DET001: iterating a name assigned a set earlier in the function."""
+    pending = set(values)
+    out = []
+    for v in pending:  # expect: DET001
+        out.append(v)
+    return out
+
+
+def bad_set_annotation(ready: set[int]):
+    """DET001: iterating a parameter annotated as a set."""
+    return [r * 2 for r in ready]  # expect: DET001
+
+
+def bad_set_union_iteration(a, b):
+    """DET001: iterating a union of sets."""
+    merged = set(a) | set(b)
+    return [v for v in merged]  # expect: DET001
+
+
+def bad_keys_iteration(table):
+    """DET001: iterating dict.keys() instead of an explicit order."""
+    out = []
+    for key in table.keys():  # expect: DET001
+        out.append(key)
+    return out
+
+
+def bad_listdir(path):
+    """DET002: filesystem-ordered directory listing."""
+    return [name for name in os.listdir(path)]  # expect: DET002
+
+
+def bad_global_random():
+    """DET003: the shared module-level generator."""
+    return random.random()  # expect: DET003
+
+
+def bad_global_shuffle(items):
+    """DET003: mutating via the shared generator."""
+    random.shuffle(items)  # expect: DET003
+
+
+def bad_wall_clock():
+    """DET004: a wall-clock read on a compilation path."""
+    return time.time()  # expect: DET004
+
+
+def ok_sorted_set(values):
+    """Silent: sorted() pins a canonical order."""
+    return [v for v in sorted(set(values))]
+
+
+def ok_sum_over_set(values: set[int]) -> int:
+    """Silent: an order-insensitive reduction over a set."""
+    return sum(1 for v in values if v > 0)
+
+
+def ok_setcomp_from_set(values: set[int]) -> set[int]:
+    """Silent: a set comprehension's result is unordered anyway."""
+    return {v * 2 for v in values}
+
+
+def ok_membership(values: set[int]) -> bool:
+    """Silent: membership tests do not iterate."""
+    return 3 in values
+
+
+def ok_rebound_name(values):
+    """Silent: the name is a sorted list by the time it is iterated."""
+    pending = set(values)
+    pending = sorted(pending)
+    return [v for v in pending]
+
+
+def ok_seeded_random(seed: int) -> float:
+    """Silent: an explicit seeded instance."""
+    return random.Random(seed).random()
+
+
+def ok_perf_counter() -> float:
+    """Silent: elapsed-time measurement is not a wall-clock identity."""
+    return time.perf_counter()
+
+
+def ok_pragma_set(values):
+    """Silent: a pragma'd set iteration (order provably unused)."""
+    total = 0
+    for _ in set(values):  # lint: disable=DET001 — counting only
+        total += 1
+    return total
+
+
+def ok_sorted_listdir(path):
+    """Silent: sorted() directory listing."""
+    return sorted(os.listdir(path))

@@ -1,0 +1,25 @@
+"""Known-good fixture: DET001/DET002 are hot-path-scoped rules.
+
+This file lives outside the scheduler/routing/partition/chip scope, so its
+set iteration must NOT fire DET001 — but wall-clock and global-random rules
+apply repo-wide, so the tagged lines still fire.
+"""
+
+import time
+
+
+def out_of_scope_set_iteration(values):
+    """Silent for DET001: not a hot-path package."""
+    return [v for v in set(values)]
+
+
+def wall_clock_everywhere():
+    """DET004 applies outside the hot-path scope too."""
+    return time.time()  # expect: DET004
+
+
+def pragma_above_the_line():
+    """Silent: the pragma sits on the comment line directly above."""
+    # Bookkeeping timestamp for the fixture's imaginary API.
+    # lint: disable=DET004
+    return time.time()

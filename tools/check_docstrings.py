@@ -1,87 +1,37 @@
 #!/usr/bin/env python3
-"""Docstring-coverage gate (interrogate-style, stdlib only).
+"""Docstring-coverage gate (interrogate-style, stdlib only) — thin CLI shim.
 
-Walks every module under ``src/repro`` with :mod:`ast` and measures how many
-public definitions carry a docstring: modules, public classes, and public
-functions / methods (a leading underscore marks something private; ``__init__``
-and other dunders are exempt, as are nested functions and
-``@overload``-style stubs consisting of a bare ``...``).
-
-The CI ``docs-build`` job runs this with ``--fail-under 80`` (and the
-third-party ``interrogate`` tool alongside, where installable); packages that
-define the library's public surface can be held to a higher bar with
-``--package``::
+The measurement logic lives in :mod:`repro.analysis.docstrings`, where the
+same numbers back the ``DOC001`` rule of ``repro lint``; this script remains
+so existing CI invocations keep working unchanged::
 
     python tools/check_docstrings.py --fail-under 80
     python tools/check_docstrings.py --fail-under 95 --package repro/pipeline
     python tools/check_docstrings.py --verbose       # list every missing name
+
+Prefer ``repro lint`` (which runs DOC001 alongside the determinism,
+fingerprint and fork-safety rules) for local use.
 """
 
 from __future__ import annotations
 
 import argparse
-import ast
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 
+# CI runs this script without PYTHONPATH=src; resolve the package ourselves.
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
 
-def _is_public(name: str) -> bool:
-    return not name.startswith("_")
-
-
-def _is_stub(node: ast.AST) -> bool:
-    """True for ellipsis-only bodies (protocol/overload stubs need no docstring)."""
-    body = getattr(node, "body", [])
-    return (
-        len(body) == 1
-        and isinstance(body[0], ast.Expr)
-        and isinstance(body[0].value, ast.Constant)
-        and body[0].value.value is Ellipsis
-    )
-
-
-def inspect_file(path: Path) -> list[tuple[str, bool]]:
-    """``(qualified name, has docstring)`` for every checkable definition in a file."""
-    tree = ast.parse(path.read_text(encoding="utf-8"))
-    module = str(path.relative_to(SRC)).removesuffix(".py").replace("/", ".")
-    if module.endswith(".__init__"):
-        module = module.removesuffix(".__init__")
-    results: list[tuple[str, bool]] = [(module, ast.get_docstring(tree) is not None)]
-
-    def visit(node: ast.AST, prefix: str) -> None:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.ClassDef):
-                if _is_public(child.name):
-                    results.append(
-                        (f"{prefix}.{child.name}", ast.get_docstring(child) is not None)
-                    )
-                    visit(child, f"{prefix}.{child.name}")
-            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                if _is_public(child.name) and not _is_stub(child):
-                    results.append(
-                        (f"{prefix}.{child.name}", ast.get_docstring(child) is not None)
-                    )
-                # Nested functions are implementation detail: not descended into.
-
-    visit(tree, module)
-    return results
+from repro.analysis.docstrings import measure as _measure  # noqa: E402
 
 
 def measure(package: Path) -> tuple[int, int, list[str]]:
-    """(documented, total, missing names) across every ``.py`` under ``package``."""
-    documented = total = 0
-    missing: list[str] = []
-    for path in sorted(package.rglob("*.py")):
-        for name, has_doc in inspect_file(path):
-            total += 1
-            if has_doc:
-                documented += 1
-            else:
-                missing.append(name)
-    return documented, total, missing
+    """(documented, total, missing) for a package under src/ — historical signature."""
+    return _measure(package, SRC)
 
 
 def main(argv: list[str] | None = None) -> int:
