@@ -15,7 +15,9 @@ from repro.chip import (
     Chip,
     DefectSpec,
     SurfaceCodeModel,
+    TileGraph,
     TileSlot,
+    builtin_tile_graph,
     load_chip_spec,
     random_defects,
     save_chip_spec,
@@ -47,7 +49,7 @@ from repro.pipeline import (
 )
 from repro.profiling import EngineComparison, EngineCounters, compare_engines
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -57,6 +59,8 @@ __all__ = [
     "CommunicationGraph",
     "Chip",
     "TileSlot",
+    "TileGraph",
+    "builtin_tile_graph",
     "SurfaceCodeModel",
     "DefectSpec",
     "random_defects",

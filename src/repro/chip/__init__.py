@@ -14,10 +14,26 @@ from repro.chip.geometry import (
 )
 from repro.chip.routing_graph import RoutingGraph, edge_key, junction, tile_node, tile_node_for
 from repro.chip.spec import chip_from_dict, chip_to_dict, load_chip_spec, save_chip_spec
+from repro.chip.tile_graph import (
+    BUILTIN_GEOMETRIES,
+    TileGraph,
+    builtin_tile_graph,
+    degree3_sparse,
+    heavy_hex,
+    hex_lattice,
+    square_lattice,
+)
 
 __all__ = [
     "Chip",
     "TileSlot",
+    "TileGraph",
+    "BUILTIN_GEOMETRIES",
+    "builtin_tile_graph",
+    "square_lattice",
+    "hex_lattice",
+    "heavy_hex",
+    "degree3_sparse",
     "DefectSpec",
     "NO_DEFECTS",
     "SurfaceCodeModel",

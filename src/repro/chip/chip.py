@@ -13,16 +13,31 @@ A chip ``L_{l×l}`` is summarised by:
 The corridors carry the communication; their bandwidths are exactly what the
 *bandwidth adjusting* step of Ecmas redistributes (within the physical
 budget), and the chip bandwidth of the paper is the minimum over corridors.
+
+Graph chips
+-----------
+A chip may instead carry an explicit :class:`~repro.chip.tile_graph.TileGraph`
+(heavy-hex, degree-3, sparse layouts — see :mod:`repro.chip.tile_graph`).
+Graph chips address tile slot ``i`` as ``TileSlot(i, 0)`` — ``tile_rows`` is
+the node count and ``tile_cols`` is 1 — and replace the corridor vectors with
+per-edge bandwidths: segments are keyed ``("e", a, b)``, distances come from
+BFS hops instead of Manhattan geometry (:meth:`Chip.slot_distance`), and
+bandwidth adjusting redistributes lanes per edge under per-node width budgets
+(:meth:`Chip.with_edge_bandwidths`).  Square chips are untouched by all of
+this: their representation, validation, and every derived quantity are
+bit-identical to the pre-graph model.
 """
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass, replace
 
 from repro.chip import geometry
 from repro.chip.defects import NO_DEFECTS, DefectSpec, SegmentKey
 from repro.chip.geometry import SurfaceCodeModel
+from repro.chip.tile_graph import TileGraph
 from repro.errors import ChipError
 
 
@@ -57,8 +72,25 @@ class Chip:
     #: Fabrication defects: dead tiles and degraded / disabled corridor
     #: segments.  Defaults to the pristine chip; see :mod:`repro.chip.defects`.
     defects: DefectSpec = NO_DEFECTS
+    #: Explicit tile-graph geometry, or ``None`` for the square lattice.
+    #: Graph chips set ``tile_rows = num_nodes``, ``tile_cols = 1`` and leave
+    #: the corridor vectors empty; build them with :meth:`from_tile_graph`.
+    tile_graph: TileGraph | None = None
 
     def __post_init__(self) -> None:
+        if self.tile_graph is not None:
+            if self.tile_rows != self.tile_graph.num_nodes or self.tile_cols != 1:
+                raise ChipError(
+                    f"graph chip must have tile_rows={self.tile_graph.num_nodes} and "
+                    f"tile_cols=1, got {self.tile_rows}x{self.tile_cols}"
+                )
+            if self.h_bandwidths or self.v_bandwidths:
+                raise ChipError(
+                    "graph chip carries bandwidths on its tile-graph edges; "
+                    "corridor vectors must be empty"
+                )
+            self.defects.validate_for_graph(self.tile_graph)
+            return
         if self.tile_rows < 1 or self.tile_cols < 1:
             raise ChipError("chip needs at least a 1x1 tile array")
         if len(self.h_bandwidths) != self.tile_rows + 1:
@@ -130,6 +162,38 @@ class Chip:
         )
 
     @classmethod
+    def from_tile_graph(
+        cls,
+        model: SurfaceCodeModel,
+        code_distance: int,
+        graph: TileGraph,
+        defects: DefectSpec = NO_DEFECTS,
+    ) -> "Chip":
+        """Build a chip over an explicit tile-graph geometry.
+
+        The physical ``side`` is an accounting figure (physical-qubit counts
+        in reports): the side of the smallest square that fits the graph's
+        tiles plus channel width for the widest edge, mirroring the square
+        chips' accounting.
+        """
+        lane = geometry.lane_width(model, code_distance)
+        core = geometry.tile_side(model, code_distance)
+        tiles_per_side = int(math.ceil(math.sqrt(graph.num_nodes)))
+        widest = max(graph.bandwidths) if graph.bandwidths else 1
+        side = tiles_per_side * core + int(math.ceil((tiles_per_side + 1) * widest * lane))
+        return cls(
+            model=model,
+            code_distance=code_distance,
+            tile_rows=graph.num_nodes,
+            tile_cols=1,
+            h_bandwidths=(),
+            v_bandwidths=(),
+            side=side,
+            defects=defects,
+            tile_graph=graph,
+        )
+
+    @classmethod
     def with_tile_array(
         cls,
         model: SurfaceCodeModel,
@@ -168,7 +232,7 @@ class Chip:
         paper; with defects, per-segment overrides lower it and disabled
         segments are excluded (a fully disconnected corridor grid reports 0).
         """
-        if self.defects.is_empty:
+        if self.tile_graph is None and self.defects.is_empty:
             return min(min(self.h_bandwidths), min(self.v_bandwidths))
         capacities = [
             capacity for _key, capacity in self.corridor_segments() if capacity > 0
@@ -231,14 +295,29 @@ class Chip:
         kind, r, c = key
         if key in self.defects.disabled_set():
             return 0
-        nominal = self.h_bandwidths[r] if kind == "h" else self.v_bandwidths[c]
+        if kind == "e":
+            index = self.tile_graph.edge_index(r, c) if self.tile_graph is not None else None
+            if index is None:
+                raise ChipError(f"chip has no tile-graph edge ({r}, {c})")
+            nominal = self.tile_graph.bandwidths[index]
+        else:
+            nominal = self.h_bandwidths[r] if kind == "h" else self.v_bandwidths[c]
         override = self.defects.override_for(key)
         if override is not None:
             return min(override, nominal)
         return nominal
 
     def corridor_segments(self) -> list[tuple[SegmentKey, int]]:
-        """Every corridor segment with its effective capacity (including 0)."""
+        """Every corridor segment with its effective capacity (including 0).
+
+        On graph chips a segment is a tile-graph edge, keyed ``("e", a, b)``
+        in the graph's canonical edge order.
+        """
+        if self.tile_graph is not None:
+            return [
+                (("e", a, b), self.segment_capacity(("e", a, b)))
+                for a, b in self.tile_graph.edges
+            ]
         return [
             (key, self.segment_capacity(key))
             for key in (
@@ -255,6 +334,11 @@ class Chip:
         same axis but may not exceed these totals, which reflect the physical
         width available on the chip.
         """
+        if self.tile_graph is not None:
+            raise ChipError(
+                "graph chips budget lanes per node, not per axis; "
+                "see TileGraph.effective_node_budgets"
+            )
         h_budget = geometry.axis_budget(self.model, self.code_distance, self.tile_rows, self.side)
         v_budget = geometry.axis_budget(self.model, self.code_distance, self.tile_cols, self.side)
         h_total = max(h_budget.max_total_lanes(), sum(self.h_bandwidths))
@@ -269,6 +353,8 @@ class Chip:
         Raises :class:`ChipError` if the requested layout exceeds the physical
         lane budget of either axis or drops a corridor below one lane.
         """
+        if self.tile_graph is not None:
+            raise ChipError("graph chips redistribute lanes with with_edge_bandwidths")
         h_bandwidths = tuple(int(b) for b in h_bandwidths)
         v_bandwidths = tuple(int(b) for b in v_bandwidths)
         h_total, v_total = self.lane_budget_per_axis()
@@ -286,8 +372,42 @@ class Chip:
             )
         return replace(self, h_bandwidths=h_bandwidths, v_bandwidths=v_bandwidths)
 
+    def with_edge_bandwidths(self, bandwidths: list[int] | tuple[int, ...]) -> "Chip":
+        """Graph-chip counterpart of :meth:`with_bandwidths`: per-edge lanes.
+
+        ``bandwidths`` is parallel to the tile graph's canonical edge order.
+        Raises :class:`ChipError` when the chip is square, when an edge drops
+        below one lane, or when a node's incident total exceeds its width
+        budget (the per-node generalisation of the axis lane budget).
+        """
+        if self.tile_graph is None:
+            raise ChipError("square chips redistribute lanes with with_bandwidths")
+        return replace(self, tile_graph=self.tile_graph.with_bandwidths(bandwidths))
+
+    def slot_distance(self, a: TileSlot, b: TileSlot) -> int:
+        """Placement distance between two tile slots.
+
+        Square chips use Manhattan distance (the paper's metric, unchanged).
+        Graph chips use the BFS hop distance between the slots' tiles over
+        the defect-adjusted routing graph, precomputed once per chip via the
+        :mod:`repro.chip.graph_arrays` kernels; unreachable or dead slots
+        report a large finite sentinel so placement costs stay comparable.
+        """
+        if self.tile_graph is None:
+            return a.manhattan_distance(b)
+        if a.row == b.row and a.col == b.col:
+            return 0
+        return _graph_hop_distances(self)[a.row][b.row]
+
     def scaled_bandwidth(self, bandwidth: int) -> "Chip":
         """Return a copy with every corridor set to ``bandwidth`` lanes (for sweeps)."""
+        if self.tile_graph is not None:
+            graph = replace(
+                self.tile_graph,
+                bandwidths=tuple([int(bandwidth)] * self.tile_graph.num_edges),
+                node_budgets=None,
+            )
+            return replace(self, tile_graph=graph)
         lane = geometry.lane_width(self.model, self.code_distance)
         core = geometry.tile_side(self.model, self.code_distance)
         tiles = max(self.tile_rows, self.tile_cols)
@@ -305,11 +425,54 @@ class Chip:
 
     def describe(self) -> str:
         """One-line human-readable description used by reports."""
-        text = (
-            f"{self.model.value} chip L{self.side}x{self.side} (d={self.code_distance}), "
-            f"{self.tile_rows}x{self.tile_cols} tiles, bandwidth={self.bandwidth}, "
-            f"capacity={self.communication_capacity}"
-        )
+        if self.tile_graph is not None:
+            text = (
+                f"{self.model.value} chip (d={self.code_distance}), "
+                f"{self.tile_graph.describe()}, bandwidth={self.bandwidth}, "
+                f"capacity={self.communication_capacity}"
+            )
+        else:
+            text = (
+                f"{self.model.value} chip L{self.side}x{self.side} (d={self.code_distance}), "
+                f"{self.tile_rows}x{self.tile_cols} tiles, bandwidth={self.bandwidth}, "
+                f"capacity={self.communication_capacity}"
+            )
         if not self.defects.is_empty:
             text += f", defects: {self.defects.describe()}"
         return text
+
+
+#: Finite "effectively unreachable" distance for graph chips: larger than any
+#: real hop distance yet safe to sum in placement costs.
+UNREACHABLE_DISTANCE = 1 << 20
+
+
+@functools.lru_cache(maxsize=8)
+def _graph_hop_distances(chip: Chip) -> tuple[tuple[int, ...], ...]:
+    """All-pairs tile hop distances for a graph chip (cached per chip value).
+
+    Runs one BFS per tile slot over the defect-adjusted routing graph using
+    :meth:`~repro.chip.graph_arrays.CompactRoutingGraph.hop_distances_from`
+    seeded at each slot's junction — on graph chips a slot's junction hop
+    distance is exactly the tile-graph hop distance.  Dead or unreachable
+    slots report :data:`UNREACHABLE_DISTANCE`.
+    """
+    from repro.chip.graph_arrays import CompactRoutingGraph
+    from repro.chip.routing_graph import RoutingGraph
+
+    compact = CompactRoutingGraph(RoutingGraph(chip))
+    n = chip.tile_rows
+    rows: list[tuple[int, ...]] = []
+    for source in range(n):
+        source_id = compact.node_id.get(("j", source, 0))
+        if source_id is None:
+            rows.append(tuple([UNREACHABLE_DISTANCE] * n))
+            continue
+        table = compact.hop_distances_from(source_id)
+        row = []
+        for target in range(n):
+            target_id = compact.node_id.get(("j", target, 0))
+            hops = int(table[target_id]) if target_id is not None else -1
+            row.append(hops if hops >= 0 else UNREACHABLE_DISTANCE)
+        rows.append(tuple(row))
+    return tuple(rows)

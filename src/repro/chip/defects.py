@@ -25,6 +25,11 @@ Corridor segments are addressed as ``(kind, index, offset)``:
 * ``("v", r, c)`` — the segment of vertical corridor ``c`` between junctions
   ``(r, c)`` and ``(r + 1, c)``, with ``0 <= r < tile_rows`` and
   ``0 <= c <= tile_cols``.
+
+Graph chips (:attr:`~repro.chip.chip.Chip.tile_graph` set) instead address
+segments as ``("e", a, b)`` — the tile-graph edge between nodes ``a < b`` —
+and dead tiles as ``(node, 0)``.  The two families never mix: ``"e"`` keys
+are invalid on square chips and ``"h"``/``"v"`` keys on graph chips.
 """
 
 from __future__ import annotations
@@ -45,6 +50,9 @@ def segment_endpoints(key: SegmentKey) -> tuple[tuple[str, int, int], tuple[str,
         return ("j", r, c), ("j", r, c + 1)
     if kind == "v":
         return ("j", r, c), ("j", r + 1, c)
+    if kind == "e":
+        # Tile-graph edge between nodes r and c: one junction per node.
+        return ("j", r, 0), ("j", c, 0)
     raise ChipError(f"unknown corridor segment kind {kind!r}")
 
 
@@ -145,6 +153,29 @@ class DefectSpec:
                     f"corridor segment ({kind!r}, {r}, {c}) outside the "
                     f"{tile_rows}x{tile_cols} tile array"
                 )
+
+    def validate_for_graph(self, graph) -> None:
+        """Raise :class:`ChipError` when any defect lies outside a tile graph.
+
+        Graph chips address dead tiles as ``(node, 0)`` and segments as
+        ``("e", a, b)`` tile-graph edges; anything else is rejected by name.
+        """
+        n = graph.num_nodes
+        for row, col in self.dead_tiles:
+            if col != 0 or not (0 <= row < n):
+                raise ChipError(
+                    f"dead tile ({row}, {col}) outside the {n}-node tile graph "
+                    "(graph chips address tiles as (node, 0))"
+                )
+        keys = list(self.disabled_segments) + [key for key, _ in self.bandwidth_overrides]
+        for kind, a, b in keys:
+            if kind != "e":
+                raise ChipError(
+                    f"corridor segment ({kind!r}, {a}, {b}) is not a tile-graph "
+                    "edge key (graph chips address segments as ('e', a, b))"
+                )
+            if graph.edge_index(a, b) is None:
+                raise ChipError(f"tile graph has no edge ({a}, {b}) to degrade")
 
     # ------------------------------------------------------------ persistence
     def key(self) -> list:

@@ -29,6 +29,16 @@ node (and no access edges), disabled corridor segments are omitted, and
 per-segment bandwidth overrides replace the corridor's nominal capacity.
 Both routing engines and the validator share this graph, so a defect declared
 on the chip is honored everywhere without further plumbing.
+
+Graph chips
+-----------
+When the chip carries a :class:`~repro.chip.tile_graph.TileGraph`, the
+corridor grid is replaced by one junction ``("j", i, 0)`` per tile-graph
+node: corridor edges connect junctions along the tile-graph edges at their
+defect-adjusted capacities, and each alive tile ``("t", i, 0)`` attaches to
+its own junction only.  Everything downstream — canonical path search, the
+fast router's landmark tables, :class:`CompactRoutingGraph` — consumes the
+same node/edge/capacity interface and needs no topology awareness.
 """
 
 from __future__ import annotations
@@ -85,6 +95,9 @@ class RoutingGraph:
     def _build(self) -> None:
         chip = self._chip
         dead = chip.defects.dead_set()
+        if chip.tile_graph is not None:
+            self._build_from_tile_graph(dead)
+            return
         for r in range(chip.tile_rows + 1):
             for c in range(chip.tile_cols + 1):
                 self._adjacency.setdefault(junction(r, c), [])
@@ -110,6 +123,30 @@ class RoutingGraph:
                 self._adjacency.setdefault(tile, [])
                 for corner in (junction(i, j), junction(i, j + 1), junction(i + 1, j), junction(i + 1, j + 1)):
                     self._add_edge(tile, corner, TILE_ACCESS_CAPACITY)
+
+    def _build_from_tile_graph(self, dead) -> None:
+        chip = self._chip
+        graph = chip.tile_graph
+        for i in range(graph.num_nodes):
+            self._adjacency.setdefault(junction(i, 0), [])
+            self._junction_capacity[junction(i, 0)] = 0
+        # Corridor edges along the tile-graph edges, defect-adjusted exactly
+        # like square corridor segments; a junction's through-capacity is the
+        # best lane count among its enabled incident edges.
+        for key, capacity in chip.corridor_segments():
+            if capacity < 1:
+                continue
+            a, b = segment_endpoints(key)
+            self._add_edge(a, b, capacity)
+            for node in (a, b):
+                self._junction_capacity[node] = max(self._junction_capacity[node], capacity)
+        # Each alive tile reaches the corridor network through its own junction.
+        for i in range(graph.num_nodes):
+            if (i, 0) in dead:
+                continue
+            tile = tile_node(i, 0)
+            self._adjacency.setdefault(tile, [])
+            self._add_edge(tile, junction(i, 0), TILE_ACCESS_CAPACITY)
 
     def _add_edge(self, a: Node, b: Node, capacity: int) -> None:
         if capacity < 1:
@@ -208,11 +245,17 @@ class RoutingGraph:
 
         Returns ``("h", r)`` for a segment of horizontal corridor ``r``,
         ``("v", c)`` for a vertical corridor segment, and ``None`` for tile
-        access edges.  Used by bandwidth adjusting to attribute path load to
+        access edges.  Graph chips return ``("e", index)`` with the tile-graph
+        edge index.  Used by bandwidth adjusting to attribute path load to
         corridors.
         """
         if self.is_tile(a) or self.is_tile(b):
             return None
+        if self._chip.tile_graph is not None:
+            index = self._chip.tile_graph.edge_index(a[1], b[1])
+            if index is None:  # pragma: no cover - adjacency guarantees an edge
+                raise RoutingError(f"{a} and {b} are not adjacent junctions")
+            return ("e", index)
         (_, ra, ca), (_, rb, cb) = a, b
         if ra == rb:
             return ("h", ra)

@@ -197,14 +197,19 @@ def _dump_cprofile(circuit, method: str, code_distance: int, out_path: str) -> N
 
 
 def _cmd_compile(args: argparse.Namespace) -> int:
-    from repro.chip import load_chip_spec
+    from repro.chip import Chip, builtin_tile_graph, load_chip_spec
 
     circuit = _load_circuit(args.circuit)
     model = _MODELS[args.model] if args.model is not None else SurfaceCodeModel.DOUBLE_DEFECT
     # --chip-spec pins the target chip (including its declared defects);
+    # --geometry builds one from a built-in tile-graph family instead;
     # --defect-rate degrades whatever chip the pipeline targets — supplied or
     # built by BuildChip for the method's own resource configuration.
+    if args.chip_spec and args.geometry:
+        raise ReproError("--chip-spec and --geometry both pin the chip; pass only one")
     chip = load_chip_spec(args.chip_spec) if args.chip_spec else None
+    if args.geometry:
+        chip = Chip.from_tile_graph(model, args.code_distance, builtin_tile_graph(args.geometry))
     if chip is not None and args.model is not None and chip.model is not model:
         raise ReproError(
             f"--model {args.model} conflicts with the chip spec's model "
@@ -590,6 +595,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="compile onto the chip described by this JSON spec file "
         "(model, tile array, bandwidths and defects; see README)",
+    )
+    compile_cmd.add_argument(
+        "--geometry",
+        metavar="SPEC",
+        help="compile onto a built-in tile-graph geometry: 'heavy_hex:RxC', "
+        "'hex:RxC', 'square:RxC' or 'sparse3:N[:SEED]' (conflicts with "
+        "--chip-spec; see docs/geometries.md)",
+    )
+    compile_cmd.add_argument(
+        "--code-distance",
+        type=int,
+        default=3,
+        metavar="D",
+        help="surface-code distance for --geometry chips (default 3)",
     )
     compile_cmd.add_argument(
         "--defect-rate",

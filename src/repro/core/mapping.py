@@ -30,6 +30,10 @@ from repro.partition.placement import (
     alive_in_window,
     best_placement,
     communication_cost,
+    graph_best_placement,
+    graph_random_placement,
+    graph_snake_placement,
+    graph_spectral_placement,
     random_placement,
     spectral_placement,
     trivial_snake_placement,
@@ -74,6 +78,10 @@ def determine_shape(num_qubits: int, chip: Chip) -> tuple[int, int]:
             f"chip has {chip.num_alive_tile_slots} alive tile slots "
             f"({len(chip.defects.dead_tiles)} dead) but the circuit needs {num_qubits}"
         )
+    if chip.tile_graph is not None:
+        # Graph chips have no rectangular windows; the "shape" is the whole
+        # graph, reported as (num_nodes, 1) to match the slot addressing.
+        return (chip.tile_rows, chip.tile_cols)
     dead = chip.defects.dead_set()
     best: tuple[int, int] | None = None
     best_key: tuple[int, int, int] | None = None
@@ -101,6 +109,7 @@ def establish_placement(
     seed: int = 0,
     dead: frozenset[tuple[int, int]] = frozenset(),
     placement_engine: str = "reference",
+    chip: Chip | None = None,
 ) -> Placement:
     """Map qubits to tile slots within ``shape`` using the requested strategy.
 
@@ -110,7 +119,28 @@ def establish_placement(
     ``dead`` lists tile slots no strategy may use.  ``placement_engine``
     picks the bisection core for the bisection-based strategies (classic KL
     ``reference`` vs multilevel ``fast``); the other strategies ignore it.
+
+    Passing a graph ``chip`` (``tile_graph`` set) dispatches every strategy
+    to its graph-aware counterpart: bisection splits the tile graph's layout
+    instead of grid windows and costs use BFS hop distance; ``shape`` and
+    ``dead`` are then taken from the chip itself.
     """
+    if chip is not None and chip.tile_graph is not None:
+        if strategy == "ecmas":
+            return graph_best_placement(
+                graph, chip, attempts=attempts, seed=seed, engine=placement_engine
+            )
+        if strategy == "metis":
+            return graph_best_placement(
+                graph, chip, attempts=1, seed=seed, engine=placement_engine
+            )
+        if strategy == "trivial":
+            return graph_snake_placement(graph.num_qubits, chip)
+        if strategy == "spectral":
+            return graph_spectral_placement(graph, chip)
+        if strategy == "random":
+            return graph_random_placement(graph.num_qubits, chip, seed=seed)
+        raise MappingError(f"unknown placement strategy {strategy!r}")
     rows, cols = shape
     if strategy == "ecmas":
         return best_placement(
@@ -173,6 +203,78 @@ def corridor_load(
     return h_load, v_load
 
 
+def edge_load(
+    chip: Chip,
+    placement: Placement,
+    graph: CommunicationGraph,
+    engine: str = "reference",
+) -> dict[int, float]:
+    """Graph-chip counterpart of :func:`corridor_load`: per-edge path load.
+
+    Pre-routes every CNOT over the unconstrained canonical path and
+    accumulates the pair's multiplicity on each tile-graph edge the path
+    crosses (keyed by edge index).  Engine-independent for the same reason
+    as :func:`corridor_load`.
+    """
+    routing_graph, router = routing_for(chip, engine)
+    load: dict[int, float] = {e: 0.0 for e in range(chip.tile_graph.num_edges)}
+    empty = CapacityUsage()
+    for a, b, weight in graph.edges():
+        source = tile_node_for(placement.slot_of(a))
+        target = tile_node_for(placement.slot_of(b))
+        if router is not None:
+            path = router.find(empty, source, target)
+        else:
+            path = find_path(routing_graph, empty, source, target)
+        if path is None:
+            continue  # disconnected pair (defective chips); no load to record
+        for edge_a, edge_b in zip(path.nodes, path.nodes[1:]):
+            corridor = routing_graph.corridor_of(edge_a, edge_b)
+            if corridor is None:
+                continue
+            load[corridor[1]] += weight
+    return load
+
+
+def adjust_edge_bandwidth(
+    chip: Chip, placement: Placement, graph: CommunicationGraph, engine: str = "reference"
+) -> Chip:
+    """Per-edge bandwidth adjusting for graph chips.
+
+    Every edge starts at one lane; the remaining width of each node's budget
+    is then granted to edges in descending load order (ties broken by edge
+    index), an edge receiving another lane only while *both* its endpoints
+    have budget left.  With no spare budget anywhere (the default budgets
+    derived from nominal bandwidths on a uniform chip) the chip is returned
+    unchanged.
+    """
+    tile_graph = chip.tile_graph
+    budgets = list(tile_graph.effective_node_budgets())
+    bandwidths = [1] * tile_graph.num_edges
+    for a, b in tile_graph.edges:
+        budgets[a] -= 1
+        budgets[b] -= 1
+    if all(b <= 0 for b in budgets):
+        return chip  # no spare width anywhere; skip the pre-routing pass
+    load = edge_load(chip, placement, graph, engine=engine)
+    order = sorted(range(tile_graph.num_edges), key=lambda e: (-load[e], e))
+    granted = True
+    while granted:
+        granted = False
+        for index in order:
+            if load[index] <= 0:
+                continue
+            a, b = tile_graph.edges[index]
+            if budgets[a] >= 1 and budgets[b] >= 1:
+                bandwidths[index] += 1
+                budgets[a] -= 1
+                budgets[b] -= 1
+                granted = True
+    if bandwidths == list(tile_graph.bandwidths):
+        return chip
+    return chip.with_edge_bandwidths(bandwidths)
+
+
 def adjust_bandwidth(
     chip: Chip, placement: Placement, graph: CommunicationGraph, engine: str = "reference"
 ) -> Chip:
@@ -180,8 +282,11 @@ def adjust_bandwidth(
 
     The chip's per-axis lane budget is respected; every corridor keeps at
     least one lane.  On the minimum viable chip there is no spare budget and
-    the chip is returned unchanged.
+    the chip is returned unchanged.  Graph chips redistribute per edge under
+    per-node width budgets instead (:func:`adjust_edge_bandwidth`).
     """
+    if chip.tile_graph is not None:
+        return adjust_edge_bandwidth(chip, placement, graph, engine=engine)
     h_budget, v_budget = chip.lane_budget_per_axis()
     h_spare = h_budget - (chip.tile_rows + 1)
     v_spare = v_budget - (chip.tile_cols + 1)
@@ -238,10 +343,11 @@ def build_initial_mapping(
         seed=seed,
         dead=chip.defects.dead_set(),
         placement_engine=placement_engine,
+        chip=chip,
     )
     placement.validate(chip)
     adjusted_chip = adjust_bandwidth(chip, placement, graph, engine=routing_engine) if adjust else chip
-    cost = communication_cost(graph, placement)
+    cost = communication_cost(graph, placement, distance=chip.slot_distance)
     return InitialMapping(
         chip=adjusted_chip,
         placement=placement,

@@ -69,8 +69,16 @@ def figure11_parallelism(
     seed: int = 0,
     jobs: int | None = 1,
     progress: Callable[[BatchProgress], None] | None = None,
+    chip: Chip | None = None,
+    validate: bool = False,
 ) -> list[SweepPoint]:
-    """Figure 11: average cycles vs circuit parallelism degree on the minimum chip."""
+    """Figure 11: average cycles vs circuit parallelism degree on the minimum chip.
+
+    ``chip`` pins every job to one explicit chip (e.g. a heavy-hex or sparse
+    graph chip) instead of each method's minimum viable square chip, and
+    ``validate`` runs the schedule validator inside every job — together they
+    let the Figure 11 machinery sweep non-square geometries validator-clean.
+    """
     baseline_method = "edpci_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "autobraid"
     ecmas_method = "ecmas_ls_min" if model is SurfaceCodeModel.LATTICE_SURGERY else "ecmas_dd_min"
     groups = {
@@ -80,7 +88,13 @@ def figure11_parallelism(
         for parallelism in parallelisms
     }
     batch_jobs = [
-        BatchJob(circuit=circuit, method=method, code_distance=code_distance)
+        BatchJob(
+            circuit=circuit,
+            method=method,
+            code_distance=code_distance,
+            chip=chip,
+            validate=validate,
+        )
         for parallelism in parallelisms
         for method in (baseline_method, ecmas_method)
         for circuit in groups[parallelism]

@@ -116,11 +116,20 @@ class Placement:
                 raise MappingError(f"slot {slot} is a dead tile on this chip")
 
 
-def communication_cost(graph: CommunicationGraph, placement: Placement) -> float:
-    """The paper's mapping cost function ``f = Σ γ_ij · manhattan(T_i, T_j)``."""
+def communication_cost(graph: CommunicationGraph, placement: Placement, distance=None) -> float:
+    """The paper's mapping cost function ``f = Σ γ_ij · l(T_i, T_j)``.
+
+    ``distance`` is the slot metric; omitted, it is Manhattan distance (the
+    paper's ``l_ij`` on the square lattice).  Graph chips pass
+    :meth:`~repro.chip.chip.Chip.slot_distance`, the BFS hop metric —
+    identical to Manhattan on square chips, so callers may thread it
+    unconditionally.
+    """
+    if distance is None:
+        distance = TileSlot.manhattan_distance
     total = 0.0
     for a, b, weight in graph.edges():
-        total += weight * placement.slot_of(a).manhattan_distance(placement.slot_of(b))
+        total += weight * distance(placement.slot_of(a), placement.slot_of(b))
     return total
 
 
@@ -292,6 +301,160 @@ def spectral_placement(
     ranking = sorted(range(n), key=lambda q: (fiedler[q], q))
     snake = trivial_snake_placement(n, rows, cols, dead=dead)
     return Placement({qubit: snake.slot_of(position) for position, qubit in enumerate(ranking)})
+
+
+# --------------------------------------------------------- graph-chip placements
+def _graph_ordered_slots(chip: Chip) -> list[TileSlot]:
+    """Alive slots of a graph chip in spatial order (y, then x, then node id).
+
+    The graph analogue of row-major order: snake/spectral fills walk this
+    order, and bisection splits partition it along the wider coordinate axis.
+    """
+    coords = chip.tile_graph.coords
+    return sorted(
+        chip.alive_tile_slots(),
+        key=lambda slot: (coords[slot.row][1], coords[slot.row][0], slot.row),
+    )
+
+
+def _check_fits_graph(num_qubits: int, chip: Chip) -> list[TileSlot]:
+    """Alive slots of the graph chip, raising when the circuit cannot fit."""
+    if chip.num_tile_slots < num_qubits:
+        raise MappingError(
+            f"tile graph with {chip.num_tile_slots} tiles too small for {num_qubits} qubits"
+        )
+    alive = _graph_ordered_slots(chip)
+    if len(alive) < num_qubits:
+        raise ChipError(
+            f"tile graph has only {len(alive)} alive tiles "
+            f"({chip.num_tile_slots - len(alive)} dead) but the circuit needs "
+            f"{num_qubits} qubits"
+        )
+    return alive
+
+
+def _split_slots(slots: list[TileSlot], coords) -> tuple[list[TileSlot], list[TileSlot]]:
+    """Split a slot region in two halves along its wider coordinate axis."""
+    xs = [coords[s.row][0] for s in slots]
+    ys = [coords[s.row][1] for s in slots]
+    if max(xs) - min(xs) >= max(ys) - min(ys):
+        ordered = sorted(slots, key=lambda s: (coords[s.row][0], coords[s.row][1], s.row))
+    else:
+        ordered = sorted(slots, key=lambda s: (coords[s.row][1], coords[s.row][0], s.row))
+    half = (len(ordered) + 1) // 2
+    return ordered[:half], ordered[half:]
+
+
+def _place_graph_region(
+    qubits: list[int],
+    weights: WeightMap,
+    slots: list[TileSlot],
+    assignment: dict[int, TileSlot],
+    rng: random.Random,
+    coords,
+    bisect,
+) -> None:
+    if not qubits:
+        return
+    if len(qubits) == 1:
+        assignment[qubits[0]] = min(slots, key=lambda s: s.row)
+        return
+    if len(slots) < len(qubits):  # pragma: no cover - guarded by _check_fits_graph
+        raise MappingError("more qubits than slots in a placement region")
+    first, second = _split_slots(slots, coords)
+    size_first = min(len(qubits), len(first))
+    size_second = len(qubits) - size_first
+    if size_second == 0 and len(first) < len(slots):
+        # Everything fits in the first half; shrink the region and re-split.
+        _place_graph_region(qubits, weights, first, assignment, rng, coords, bisect)
+        return
+    side_a, side_b = bisect(qubits, weights, seed=rng.randrange(1 << 30), size_a=size_first)
+    _place_graph_region(sorted(side_a), weights, first, assignment, rng, coords, bisect)
+    _place_graph_region(sorted(side_b), weights, second, assignment, rng, coords, bisect)
+
+
+def graph_recursive_bisection_placement(
+    graph: CommunicationGraph,
+    chip: Chip,
+    seed: int | None = None,
+    engine: str = "reference",
+) -> Placement:
+    """Recursive-bisection placement onto a graph chip's alive tiles.
+
+    The communication graph is bisected exactly as on square chips (same
+    KL/FM cores), while the slot region splits along the wider coordinate
+    axis of the tile graph's layout instead of a grid window — heavily
+    communicating qubits still land in spatially (and therefore, for the
+    built-in geometries, hop-wise) nearby tiles.
+    """
+    alive = _check_fits_graph(graph.num_qubits, chip)
+    bisect = _BISECTION_CORES[check_placement_engine(engine)]
+    weights = _weights_from_graph(graph)
+    assignment: dict[int, TileSlot] = {}
+    _place_graph_region(
+        list(range(graph.num_qubits)),
+        weights,
+        alive,
+        assignment,
+        random.Random(seed),
+        chip.tile_graph.coords,
+        bisect,
+    )
+    return Placement(assignment)
+
+
+def graph_snake_placement(num_qubits: int, chip: Chip) -> Placement:
+    """The trivial fill for graph chips: qubits in spatial slot order."""
+    alive = _check_fits_graph(num_qubits, chip)
+    return Placement({qubit: alive[qubit] for qubit in range(num_qubits)})
+
+
+def graph_random_placement(num_qubits: int, chip: Chip, seed: int | None = None) -> Placement:
+    """Uniformly random assignment of qubits to distinct alive graph tiles."""
+    alive = _check_fits_graph(num_qubits, chip)
+    rng = random.Random(seed)
+    rng.shuffle(alive)
+    return Placement({qubit: alive[qubit] for qubit in range(num_qubits)})
+
+
+def graph_spectral_placement(graph: CommunicationGraph, chip: Chip) -> Placement:
+    """Spectral placement for graph chips: Fiedler order over spatial slot order."""
+    n = graph.num_qubits
+    _check_fits_graph(n, chip)
+    laplacian = np.zeros((n, n), dtype=float)
+    for a, b, w in graph.edges():
+        laplacian[a, b] -= w
+        laplacian[b, a] -= w
+        laplacian[a, a] += w
+        laplacian[b, b] += w
+    eigenvalues, eigenvectors = np.linalg.eigh(laplacian)
+    order = np.argsort(eigenvalues)
+    fiedler = eigenvectors[:, order[1]] if n > 1 else np.zeros(n)
+    fiedler = canonicalize_eigenvector_sign(fiedler)
+    ranking = sorted(range(n), key=lambda q: (fiedler[q], q))
+    snake = graph_snake_placement(n, chip)
+    return Placement({qubit: snake.slot_of(position) for position, qubit in enumerate(ranking)})
+
+
+def graph_best_placement(
+    graph: CommunicationGraph,
+    chip: Chip,
+    attempts: int = 4,
+    seed: int = 0,
+    engine: str = "reference",
+) -> Placement:
+    """Seeded multi-attempt bisection for graph chips, scored by hop distance."""
+    best: Placement | None = None
+    best_cost = float("inf")
+    for attempt in range(max(1, attempts)):
+        placement = graph_recursive_bisection_placement(
+            graph, chip, seed=seed + attempt, engine=engine
+        )
+        cost = communication_cost(graph, placement, distance=chip.slot_distance)
+        if cost < best_cost:
+            best, best_cost = placement, cost
+    assert best is not None
+    return best
 
 
 def best_placement(

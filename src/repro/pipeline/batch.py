@@ -69,7 +69,7 @@ from repro.core.ecmas import EcmasOptions
 #: 4: placement-engine field — the fast multilevel placement core produces
 #: different (parity-bounded) placements, so ``placement`` is part of result
 #: identity and pre-knob records must not be served for either value.
-CACHE_FORMAT_VERSION = 4
+CACHE_FORMAT_VERSION = 5
 
 
 def default_cache_dir() -> Path:
@@ -161,6 +161,7 @@ def chip_key(chip: Chip | None) -> list | None:
         list(chip.v_bandwidths),
         chip.side,
         chip.defects.key(),
+        chip.tile_graph.key() if chip.tile_graph is not None else None,
     ]
 
 

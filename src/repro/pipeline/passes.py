@@ -180,9 +180,12 @@ class InitialMappingPass(Pass):
             seed=ctx.options.seed,
             dead=chip.defects.dead_set(),
             placement_engine=check_placement_engine(ctx.placement_engine),
+            chip=chip,
         )
         ctx.placement.validate(chip)
-        ctx.mapping_cost = communication_cost(graph, ctx.placement)
+        # slot_distance is Manhattan on square chips (bit-identical costs)
+        # and BFS hop distance on graph chips.
+        ctx.mapping_cost = communication_cost(graph, ctx.placement, distance=chip.slot_distance)
 
 
 class BandwidthAdjustPass(Pass):

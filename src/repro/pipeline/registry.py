@@ -62,11 +62,14 @@ def braidflash_priority(dag: GateDAG, ready: Sequence[int]) -> list[int]:
 
 def edp_priority_factory(ctx: PassContext) -> Callable:
     """EDPCI gate order: shortest placed tile separation first, then program order."""
-    placement = ctx.require_mapping().placement
+    mapping = ctx.require_mapping()
+    placement = mapping.placement
+    # Manhattan on square chips (unchanged ordering), BFS hops on graph chips.
+    distance = mapping.chip.slot_distance
 
     def separation(dag: GateDAG, node: int) -> int:
         gate = dag.gate(node)
-        return placement.slot_of(gate.control).manhattan_distance(placement.slot_of(gate.target))
+        return distance(placement.slot_of(gate.control), placement.slot_of(gate.target))
 
     @static_priority(lambda dag, node: (separation(dag, node), node))
     def priority(dag: GateDAG, ready: Sequence[int]) -> list[int]:

@@ -12,7 +12,9 @@ logs and tests:
 
 from __future__ import annotations
 
-from repro.chip.chip import Chip
+import math
+
+from repro.chip.chip import Chip, TileSlot
 from repro.core.schedule import EncodedCircuit, OperationKind
 from repro.partition.placement import Placement
 
@@ -25,7 +27,14 @@ _KIND_SYMBOL = {
 
 
 def render_placement(chip: Chip, placement: Placement) -> str:
-    """Render the tile array with hosted qubits and corridor bandwidths."""
+    """Render the tile array with hosted qubits and corridor bandwidths.
+
+    Graph chips (``chip.tile_graph`` set) render as a coordinate-scaled
+    scatter of tile labels plus an edge/bandwidth list instead of the grid
+    drawing; dead tiles still render as ``X``.
+    """
+    if chip.tile_graph is not None:
+        return _render_graph_placement(chip, placement)
     slot_to_qubit = {slot: qubit for qubit, slot in placement.qubit_to_slot.items()}
     dead = chip.defects.dead_set()
     cell_width = max(4, max((len(f"q{q}") for q in placement.qubit_to_slot), default=2) + 1)
@@ -54,6 +63,55 @@ def render_placement(chip: Chip, placement: Placement) -> str:
         + ("; 'X' = dead tile)" if dead else ")")
     )
     return "\n".join(lines) + "\n"
+
+
+def _render_graph_placement(chip: Chip, placement: Placement) -> str:
+    """ASCII scatter of a graph chip: node labels at scaled coordinates.
+
+    Each tile renders as ``id:label`` where the label is the hosted qubit,
+    ``.`` for an unused alive tile, or ``X`` for a dead tile; the tile-graph
+    edges follow as an ``a-b:bandwidth`` list (effective capacities, so
+    disabled edges show ``:0``).
+    """
+    graph = chip.tile_graph
+    slot_to_qubit = {slot: qubit for qubit, slot in placement.qubit_to_slot.items()}
+    dead = chip.defects.dead_set()
+    labels = []
+    for node in range(graph.num_nodes):
+        if (node, 0) in dead:
+            labels.append(f"{node}:X")
+        else:
+            qubit = slot_to_qubit.get(TileSlot(node, 0))
+            labels.append(f"{node}:q{qubit}" if qubit is not None else f"{node}:.")
+    xs = [x for x, _ in graph.coords]
+    ys = [y for _, y in graph.coords]
+    x_span = max(xs) - min(xs) or 1.0
+    y_span = max(ys) - min(ys) or 1.0
+    cell = max(len(label) for label in labels) + 1
+    width = min(100, max(cell * 4, int(round(math.sqrt(graph.num_nodes))) * cell * 2))
+    height = max(2, int(round(width * y_span / x_span / 2.4)))
+    grid = [[" "] * (width + cell) for _ in range(height + 1)]
+    for node in range(graph.num_nodes):
+        x, y = graph.coords[node]
+        row = int(round((y - min(ys)) / y_span * height))
+        col = int(round((x - min(xs)) / x_span * width))
+        while any(c != " " for c in grid[row][col : col + len(labels[node]) + 1]):
+            col += 1  # nudge right on collisions; rows are coarse
+        for offset, char in enumerate(labels[node]):
+            grid[row][col + offset] = char
+    lines = [f"chip: {chip.describe()}"]
+    lines.extend("".join(row).rstrip() for row in grid)
+    edge_parts = [
+        f"{a}-{b}:{chip.segment_capacity(('e', a, b))}" for a, b in graph.edges
+    ]
+    for start in range(0, len(edge_parts), 10):
+        prefix = "edges: " if start == 0 else "       "
+        lines.append(prefix + " ".join(edge_parts[start : start + 10]))
+    lines.append(
+        "(labels are node:qubit; '.' = unused tile"
+        + ("; 'X' = dead tile)" if dead else ")")
+    )
+    return "\n".join(line for line in lines if line is not None) + "\n"
 
 
 def _corridor_line(chip: Chip, corridor: int, cols: int, cell_width: int) -> str:

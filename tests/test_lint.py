@@ -77,6 +77,15 @@ def test_det001_is_scoped_to_hot_path_packages():
     assert {f.rule for f in service} == {"DET004"}
 
 
+def test_hot_path_scope_covers_topology_module():
+    # The tile-graph topology core feeds placement and routing identity, so
+    # DET001/DET002 must keep it in scope alongside the rest of repro.chip.
+    from repro.analysis.determinism import HOT_PATH_SCOPE
+
+    path = "src/repro/chip/tile_graph.py"
+    assert any(path.startswith(prefix) for prefix in HOT_PATH_SCOPE)
+
+
 def test_severity_and_location_rendering():
     report = run_fixture(rules=["DET003"])
     assert report.findings, "fixture has DET003 violations"

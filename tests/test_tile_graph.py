@@ -1,0 +1,355 @@
+"""Unit tests for the tile-graph geometry core (:mod:`repro.chip.tile_graph`).
+
+Covers the CHIP_SPEC v2 contracts of the topology-agnostic chip milestone:
+
+* canonicalisation and validation of :class:`TileGraph` (edge order,
+  self-loops, duplicate edges, bandwidth floors, node width budgets),
+* every built-in generator (square, hex, heavy-hex, degree-3 sparse) and the
+  CLI geometry-spec grammar,
+* a Hypothesis round-trip suite for CHIP_SPEC v2 (``chip_to_dict`` /
+  ``chip_from_dict`` on random tile graphs, including defects),
+* the legacy guarantee: every v1 spec in ``examples/chips/`` still loads
+  bit-identically, and unknown/ill-typed fields are rejected by name.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chip import (
+    BUILTIN_GEOMETRIES,
+    DefectSpec,
+    SurfaceCodeModel,
+    TileGraph,
+    builtin_tile_graph,
+    degree3_sparse,
+    heavy_hex,
+    hex_lattice,
+    square_lattice,
+)
+from repro.chip.chip import Chip
+from repro.chip.spec import chip_from_dict, chip_to_dict, load_chip_spec, save_chip_spec
+from repro.errors import ChipError
+
+EXAMPLES = Path(__file__).parent.parent / "examples" / "chips"
+
+
+# ------------------------------------------------------------- construction
+def test_edges_are_canonicalised_sorted_with_parallel_bandwidths():
+    graph = TileGraph(
+        name="t",
+        coords=((0.0, 0.0), (1.0, 0.0), (2.0, 0.0)),
+        edges=((2, 1), (1, 0)),
+        bandwidths=(3, 2),
+    )
+    assert graph.edges == ((0, 1), (1, 2))
+    assert graph.bandwidths == (2, 3)  # followed their edges through the sort
+    assert graph.edge_index(2, 1) == 1  # order-insensitive lookup
+    assert graph.edge_index(0, 2) is None
+    assert graph.incident_edges(1) == (0, 1)
+    assert graph.degree(1) == 2
+
+
+@pytest.mark.parametrize(
+    "edges, bandwidths, message",
+    [
+        (((0, 0),), (1,), "self-loop"),
+        (((0, 1), (1, 0)), (1, 1), "declared twice"),
+        (((0, 5),), (1,), "outside"),
+        (((0, 1),), (0,), "bandwidth >= 1"),
+        (((0, 1),), (), "1 edges but 0 bandwidths"),
+    ],
+)
+def test_constructor_rejects_malformed_edges(edges, bandwidths, message):
+    with pytest.raises(ChipError, match=message):
+        TileGraph(name="t", coords=((0.0, 0.0), (1.0, 0.0)), edges=edges, bandwidths=bandwidths)
+
+
+def test_node_budgets_must_cover_incident_bandwidth():
+    with pytest.raises(ChipError, match="node 0 width budget 1 is below"):
+        TileGraph(
+            name="t",
+            coords=((0.0, 0.0), (1.0, 0.0)),
+            edges=((0, 1),),
+            bandwidths=(2,),
+            node_budgets=(1, 2),
+        )
+    graph = TileGraph(
+        name="t",
+        coords=((0.0, 0.0), (1.0, 0.0)),
+        edges=((0, 1),),
+        bandwidths=(2,),
+        node_budgets=(3, 2),
+    )
+    assert graph.effective_node_budgets() == (3, 2)
+
+
+def test_effective_budgets_default_to_incident_sums():
+    graph = square_lattice(2, 2, bandwidth=2)
+    assert graph.effective_node_budgets() == (4, 4, 4, 4)
+
+
+def test_with_bandwidths_validates_floor_and_budget():
+    graph = TileGraph(
+        name="t",
+        coords=((0.0, 0.0), (1.0, 0.0), (2.0, 0.0)),
+        edges=((0, 1), (1, 2)),
+        bandwidths=(1, 1),
+        node_budgets=(2, 3, 2),
+    )
+    widened = graph.with_bandwidths((2, 1))
+    assert widened.bandwidths == (2, 1)
+    with pytest.raises(ChipError, match="at least one lane"):
+        graph.with_bandwidths((0, 1))
+    with pytest.raises(ChipError, match="node 0 lane budget exceeded"):
+        graph.with_bandwidths((3, 1))
+    with pytest.raises(ChipError, match="expected 2 edge bandwidths"):
+        graph.with_bandwidths((1,))
+
+
+# --------------------------------------------------------------- generators
+def test_square_lattice_matches_grid_structure():
+    graph = square_lattice(3, 4)
+    assert graph.num_nodes == 12
+    # A 3x4 grid has 3*3 horizontal + 2*4 vertical edges.
+    assert graph.num_edges == 17
+    assert all(graph.degree(n) <= 4 for n in range(graph.num_nodes))
+
+
+def test_hex_lattice_is_degree_three_and_connected():
+    graph = hex_lattice(3, 4)
+    assert graph.num_nodes == 12
+    assert max(graph.degree(n) for n in range(graph.num_nodes)) <= 3
+    assert _is_connected(graph)
+
+
+def test_heavy_hex_subdivides_every_hex_edge():
+    base = hex_lattice(3, 3)
+    graph = heavy_hex(3, 3)
+    assert graph.num_nodes == base.num_nodes + base.num_edges
+    assert graph.num_edges == 2 * base.num_edges
+    # Mid nodes are degree 2; original hex nodes keep degree <= 3.
+    for node in range(base.num_nodes, graph.num_nodes):
+        assert graph.degree(node) == 2
+    for node in range(base.num_nodes):
+        assert graph.degree(node) <= 3
+    assert _is_connected(graph)
+
+
+def test_degree3_sparse_is_connected_deterministic_and_bounded():
+    graph = degree3_sparse(24, seed=7)
+    assert graph.num_nodes == 24
+    assert max(graph.degree(n) for n in range(24)) <= 3
+    assert _is_connected(graph)
+    assert graph == degree3_sparse(24, seed=7)  # deterministic for a seed
+    assert graph != degree3_sparse(24, seed=8)
+
+
+def test_generator_argument_validation():
+    with pytest.raises(ChipError):
+        square_lattice(0, 3)
+    with pytest.raises(ChipError):
+        hex_lattice(2, 1)  # hex needs >= 2 columns
+    with pytest.raises(ChipError):
+        degree3_sparse(1)
+
+
+def test_builtin_tile_graph_grammar():
+    assert builtin_tile_graph("heavy_hex:3x3").name == "heavy_hex_3x3"
+    assert builtin_tile_graph("hex:2x4").name == "hex_2x4"
+    assert builtin_tile_graph("square:2x2").name == "square_2x2"
+    assert builtin_tile_graph("sparse3:10").name == "sparse3_n10_s0"
+    assert builtin_tile_graph("sparse3:10:5").name == "sparse3_n10_s5"
+    for bad in ("bogus", "heavy_hex", "heavy_hex:3", "sparse3:x", "square:2x2x2"):
+        with pytest.raises(ChipError, match="bad geometry spec"):
+            builtin_tile_graph(bad)
+    for family in BUILTIN_GEOMETRIES:
+        assert family in ("heavy_hex", "hex", "square", "sparse3")
+
+
+def _is_connected(graph: TileGraph) -> bool:
+    seen = {0}
+    frontier = [0]
+    while frontier:
+        node = frontier.pop()
+        for e in graph.incident_edges(node):
+            a, b = graph.edges[e]
+            for nxt in (a, b):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+    return len(seen) == graph.num_nodes
+
+
+# --------------------------------------------- CHIP_SPEC v2 round trip (PBT)
+@st.composite
+def random_tile_graph_chips(draw):
+    """A graph chip with a random connected tile graph and random defects."""
+    num_nodes = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    order = list(range(num_nodes))
+    rng.shuffle(order)
+    edge_set = {tuple(sorted((order[i], order[i + 1]))) for i in range(num_nodes - 1)}
+    for _ in range(draw(st.integers(min_value=0, max_value=num_nodes))):
+        a, b = rng.sample(range(num_nodes), 2)
+        edge_set.add(tuple(sorted((a, b))))
+    edges = tuple(sorted(edge_set))
+    bandwidths = tuple(rng.randint(1, 3) for _ in edges)
+    graph = TileGraph(
+        name=f"pbt_{seed}",
+        coords=tuple((float(i), float(i % 3)) for i in range(num_nodes)),
+        edges=edges,
+        bandwidths=bandwidths,
+    )
+    if draw(st.booleans()):
+        slack = tuple(rng.randint(0, 2) for _ in range(num_nodes))
+        graph = TileGraph(
+            name=graph.name,
+            coords=graph.coords,
+            edges=graph.edges,
+            bandwidths=graph.bandwidths,
+            node_budgets=tuple(
+                base + extra for base, extra in zip(graph.effective_node_budgets(), slack)
+            ),
+        )
+    defects = DefectSpec()
+    if draw(st.booleans()):
+        dead = tuple((n, 0) for n in rng.sample(range(num_nodes), min(2, num_nodes - 1)))
+        disabled = (("e",) + edges[rng.randrange(len(edges))],)
+        overrides = ((("e",) + edges[rng.randrange(len(edges))], rng.randint(0, 2)),)
+        defects = DefectSpec(
+            dead_tiles=dead, disabled_segments=disabled, bandwidth_overrides=overrides
+        )
+    model = draw(st.sampled_from(list(SurfaceCodeModel)))
+    code_distance = draw(st.sampled_from([3, 5]))
+    return Chip.from_tile_graph(model, code_distance, graph, defects=defects)
+
+
+@given(random_tile_graph_chips())
+@settings(max_examples=50, deadline=None)
+def test_chip_spec_v2_round_trips_through_json(chip):
+    payload = chip_to_dict(chip)
+    assert payload["version"] == 2
+    assert "geometry" in payload and "h_bandwidths" not in payload
+    restored = chip_from_dict(json.loads(json.dumps(payload, sort_keys=True)))
+    assert restored == chip
+    assert chip_to_dict(restored) == payload
+
+
+@given(random_tile_graph_chips())
+@settings(max_examples=20, deadline=None)
+def test_chip_spec_v2_round_trips_through_files(tmp_path_factory, chip):
+    path = tmp_path_factory.mktemp("specs") / "chip.json"
+    save_chip_spec(chip, path)
+    assert load_chip_spec(path) == chip
+
+
+def test_square_chips_still_emit_version_1():
+    chip = Chip.with_tile_array(SurfaceCodeModel.DOUBLE_DEFECT, 3, 3, 3, bandwidth=2)
+    payload = chip_to_dict(chip)
+    assert payload["version"] == 1
+    assert "geometry" not in payload
+    assert chip_from_dict(payload) == chip
+
+
+# ------------------------------------------------------------ legacy golden
+def test_every_v1_example_spec_loads_bit_identically():
+    """Every v1 spec in examples/chips/ must round-trip to its exact JSON."""
+    v1_paths = [
+        path for path in sorted(EXAMPLES.glob("*.json"))
+        if json.loads(path.read_text()).get("version", 1) == 1
+    ]
+    assert v1_paths, "expected at least one v1 spec in examples/chips/"
+    for path in v1_paths:
+        raw = json.loads(path.read_text())
+        chip = load_chip_spec(path)
+        assert chip_to_dict(chip) == raw, f"{path.name} no longer round-trips"
+
+
+def test_defective_4x4_golden_values():
+    """Field-level golden for the pre-refactor v1 spec (guards the loader)."""
+    chip = load_chip_spec(EXAMPLES / "defective_4x4.json")
+    assert chip.model is SurfaceCodeModel.DOUBLE_DEFECT
+    assert chip.code_distance == 3
+    assert (chip.tile_rows, chip.tile_cols) == (4, 4)
+    assert chip.side == 99
+    assert chip.h_bandwidths == (2, 2, 2, 2, 2)
+    assert chip.v_bandwidths == (2, 2, 2, 2, 2)
+    assert chip.tile_graph is None
+    assert chip.defects.dead_tiles == ((1, 2),)
+    assert chip.defects.disabled_segments == (("h", 1, 1),)
+    assert chip.defects.bandwidth_overrides == ((("v", 2, 3), 1),)
+
+
+def test_shipped_v2_examples_load_as_graph_chips():
+    heavy = load_chip_spec(EXAMPLES / "heavy_hex_3x3.json")
+    assert heavy.tile_graph is not None
+    assert heavy.tile_graph.name == "heavy_hex_3x3"
+    assert heavy.tile_graph.num_nodes == 18
+    sparse = load_chip_spec(EXAMPLES / "sparse3_n24.json")
+    assert sparse.tile_graph is not None
+    assert sparse.tile_graph.num_nodes == 24
+    assert sparse.defects.dead_tiles == ((5, 0),)
+
+
+# ------------------------------------------------------- hardening contracts
+def test_chip_from_dict_rejects_unknown_fields_by_name():
+    payload = chip_to_dict(Chip.with_tile_array(SurfaceCodeModel.DOUBLE_DEFECT, 3, 2, 2, 1))
+    payload["bandwidth"] = 2
+    with pytest.raises(ChipError, match="unknown field 'bandwidth'"):
+        chip_from_dict(payload)
+
+
+def test_chip_from_dict_rejects_unknown_v2_and_geometry_fields():
+    chip = Chip.from_tile_graph(SurfaceCodeModel.DOUBLE_DEFECT, 3, square_lattice(2, 2))
+    payload = chip_to_dict(chip)
+    bad = dict(payload)
+    bad["h_bandwidths"] = [1, 1, 1]  # a v1 field is unknown in a v2 spec
+    with pytest.raises(ChipError, match="unknown field 'h_bandwidths'"):
+        chip_from_dict(bad)
+    bad = json.loads(json.dumps(payload))
+    bad["geometry"]["colour"] = "blue"
+    with pytest.raises(ChipError, match="unknown field 'colour'"):
+        chip_from_dict(bad)
+
+
+@pytest.mark.parametrize(
+    "mutate, message",
+    [
+        (lambda p: p.update(tile_rows="four"), "'tile_rows' must be an integer"),
+        (lambda p: p.pop("model"), "missing the 'model'"),
+        (lambda p: p.update(model=17), "'model'"),
+        (lambda p: p.update(version=99), "version"),
+        (lambda p: p.update(format="not-a-chip"), "format"),
+        (lambda p: p.update(defects="oops"), "'defects'"),
+        (lambda p: p.update(h_bandwidths=5), "'h_bandwidths'"),
+    ],
+)
+def test_chip_from_dict_names_offending_field(mutate, message):
+    payload = chip_to_dict(Chip.with_tile_array(SurfaceCodeModel.DOUBLE_DEFECT, 3, 2, 2, 1))
+    mutate(payload)
+    with pytest.raises(ChipError, match=message):
+        chip_from_dict(payload)
+
+
+def test_v2_spec_with_malformed_geometry_names_the_field():
+    chip = Chip.from_tile_graph(SurfaceCodeModel.LATTICE_SURGERY, 3, square_lattice(2, 2))
+    payload = json.loads(json.dumps(chip_to_dict(chip)))
+    payload["geometry"]["nodes"] = "everywhere"
+    with pytest.raises(ChipError, match="'geometry.nodes'"):
+        chip_from_dict(payload)
+    payload = json.loads(json.dumps(chip_to_dict(chip)))
+    payload["geometry"]["edges"] = [[0, 1]]
+    with pytest.raises(ChipError, match="'geometry.edges'"):
+        chip_from_dict(payload)
+    payload = json.loads(json.dumps(chip_to_dict(chip)))
+    payload["geometry"] = "a graph"
+    with pytest.raises(ChipError, match="'geometry' must be an object"):
+        chip_from_dict(payload)
